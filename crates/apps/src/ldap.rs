@@ -1,0 +1,400 @@
+//! OpenLDAP-like directory server core (§6.2, Table 4).
+//!
+//! OpenLDAP backends keep a read-mostly **entry cache** in front of the
+//! store; the paper's insight is that with persistent memory "the backing
+//! store can be removed, leaving only a persistent cache". Three backends
+//! are modelled:
+//!
+//! * [`BackBdb`] — the default `back-bdb`: transactional storage via the
+//!   Berkeley-DB-like store, plus a volatile AVL entry cache;
+//! * [`BackLdbm`] — `back-ldbm`: the same store without transactions,
+//!   periodically flushed ("a lower level of reliability");
+//! * [`BackMnemosyne`] — the converted backend: the AVL entry cache is
+//!   allocated with `pmalloc` and updated in durable transactions; no
+//!   separate store exists.
+//!
+//! The SLAMD-like [`Workload`] generates directory entries from an
+//! LDIF-style template ("a workload of 100,000 directory entries").
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use bdbstore::{BdbStore, Durability, StoreConfig};
+use mnemosyne::{Mnemosyne, TxThread};
+use mnemosyne_pds::PAvlTree;
+use pcmdisk::SimpleFs;
+
+/// A directory entry: a DN plus attribute pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Distinguished name.
+    pub dn: String,
+    /// Attribute `(type, value)` pairs.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Entry {
+    /// Serialises the entry to bytes (simple length-prefixed wire form).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.attrs.len() * 32);
+        out.extend_from_slice(&(self.attrs.len() as u32).to_le_bytes());
+        for (k, v) in &self.attrs {
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(v.as_bytes());
+        }
+        out
+    }
+
+    /// Deserialises an entry body for the given DN.
+    pub fn from_bytes(dn: &str, data: &[u8]) -> Option<Entry> {
+        let n = u32::from_le_bytes(data.get(0..4)?.try_into().ok()?) as usize;
+        let mut attrs = Vec::with_capacity(n);
+        let mut off = 4usize;
+        for _ in 0..n {
+            let klen = u32::from_le_bytes(data.get(off..off + 4)?.try_into().ok()?) as usize;
+            let vlen = u32::from_le_bytes(data.get(off + 4..off + 8)?.try_into().ok()?) as usize;
+            off += 8;
+            let k = String::from_utf8(data.get(off..off + klen)?.to_vec()).ok()?;
+            off += klen;
+            let v = String::from_utf8(data.get(off..off + vlen)?.to_vec()).ok()?;
+            off += vlen;
+            attrs.push((k, v));
+        }
+        Some(Entry {
+            dn: dn.to_string(),
+            attrs,
+        })
+    }
+}
+
+/// One worker's connection to a backend. Mutable per-thread state (e.g. a
+/// transaction context) lives here.
+pub trait Session: Send {
+    /// Adds (or replaces) a directory entry durably per the backend's
+    /// policy.
+    fn add(&mut self, entry: &Entry) -> Result<(), String>;
+    /// Searches for an entry by DN.
+    fn search(&mut self, dn: &str) -> Result<Option<Entry>, String>;
+}
+
+/// A directory backend: hands out per-worker sessions.
+pub trait Backend: Send + Sync {
+    /// Backend name as reported in Table 4.
+    fn name(&self) -> &'static str;
+    /// Opens a session for one worker thread.
+    fn session(&self) -> Box<dyn Session>;
+}
+
+/// The volatile AVL-stand-in entry cache used by the Berkeley-DB-backed
+/// backends (an ordered balanced tree keyed by DN).
+type VolatileCache = Arc<RwLock<BTreeMap<String, Entry>>>;
+
+/// `back-bdb`: transactional Berkeley-DB-like storage + volatile cache.
+pub struct BackBdb {
+    store: Arc<BdbStore>,
+    cache: VolatileCache,
+}
+
+impl BackBdb {
+    /// Opens the backend over the given PCM-disk file system.
+    ///
+    /// # Errors
+    /// Propagates store errors.
+    pub fn open(fs: SimpleFs) -> Result<BackBdb, String> {
+        let store = BdbStore::open(
+            fs,
+            "ldap-bdb",
+            StoreConfig {
+                durability: Durability::Transactional,
+                ..StoreConfig::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(BackBdb {
+            store: Arc::new(store),
+            cache: Arc::new(RwLock::new(BTreeMap::new())),
+        })
+    }
+}
+
+impl Backend for BackBdb {
+    fn name(&self) -> &'static str {
+        "back-bdb"
+    }
+
+    fn session(&self) -> Box<dyn Session> {
+        Box::new(BdbSession {
+            store: Arc::clone(&self.store),
+            cache: Arc::clone(&self.cache),
+        })
+    }
+}
+
+struct BdbSession {
+    store: Arc<BdbStore>,
+    cache: VolatileCache,
+}
+
+impl Session for BdbSession {
+    fn add(&mut self, entry: &Entry) -> Result<(), String> {
+        // Store first (commit), then cache.
+        self.store
+            .put(entry.dn.as_bytes(), &entry.to_bytes())
+            .map_err(|e| e.to_string())?;
+        self.cache.write().insert(entry.dn.clone(), entry.clone());
+        Ok(())
+    }
+
+    fn search(&mut self, dn: &str) -> Result<Option<Entry>, String> {
+        if let Some(e) = self.cache.read().get(dn) {
+            return Ok(Some(e.clone()));
+        }
+        match self.store.get(dn.as_bytes()).map_err(|e| e.to_string())? {
+            Some(raw) => Ok(Entry::from_bytes(dn, &raw)),
+            None => Ok(None),
+        }
+    }
+}
+
+/// `back-ldbm`: the same store without transactions; dirty data flushed
+/// every `flush_every` updates.
+pub struct BackLdbm {
+    store: Arc<BdbStore>,
+    cache: VolatileCache,
+}
+
+impl BackLdbm {
+    /// Opens the backend; `flush_every` is the periodic-flush interval.
+    ///
+    /// # Errors
+    /// Propagates store errors.
+    pub fn open(fs: SimpleFs, flush_every: u64) -> Result<BackLdbm, String> {
+        let store = BdbStore::open(
+            fs,
+            "ldap-ldbm",
+            StoreConfig {
+                durability: Durability::Ldbm { flush_every },
+                ..StoreConfig::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(BackLdbm {
+            store: Arc::new(store),
+            cache: Arc::new(RwLock::new(BTreeMap::new())),
+        })
+    }
+}
+
+impl Backend for BackLdbm {
+    fn name(&self) -> &'static str {
+        "back-ldbm"
+    }
+
+    fn session(&self) -> Box<dyn Session> {
+        Box::new(BdbSession {
+            store: Arc::clone(&self.store),
+            cache: Arc::clone(&self.cache),
+        })
+    }
+}
+
+/// `back-mnemosyne`: the entry cache *is* the store — a persistent AVL
+/// tree updated in durable transactions (four atomic blocks in the real
+/// conversion; here every cache update is one transaction).
+pub struct BackMnemosyne {
+    m: Arc<Mnemosyne>,
+    tree: PAvlTree,
+}
+
+impl BackMnemosyne {
+    /// Opens the backend over a booted Mnemosyne stack.
+    ///
+    /// # Errors
+    /// Propagates stack errors.
+    pub fn open(m: Arc<Mnemosyne>) -> Result<BackMnemosyne, String> {
+        let tree = PAvlTree::open(&m, "ldap-cache").map_err(|e| e.to_string())?;
+        Ok(BackMnemosyne { m, tree })
+    }
+}
+
+impl Backend for BackMnemosyne {
+    fn name(&self) -> &'static str {
+        "back-mnemosyne"
+    }
+
+    fn session(&self) -> Box<dyn Session> {
+        let th = self
+            .m
+            .register_thread()
+            .expect("transaction thread slot for LDAP session");
+        Box::new(MnemosyneSession {
+            tree: self.tree,
+            th,
+        })
+    }
+}
+
+struct MnemosyneSession {
+    tree: PAvlTree,
+    th: TxThread,
+}
+
+impl Session for MnemosyneSession {
+    fn add(&mut self, entry: &Entry) -> Result<(), String> {
+        self.tree
+            .insert(&mut self.th, entry.dn.as_bytes(), &entry.to_bytes())
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+
+    fn search(&mut self, dn: &str) -> Result<Option<Entry>, String> {
+        match self
+            .tree
+            .get(&mut self.th, dn.as_bytes())
+            .map_err(|e| e.to_string())?
+        {
+            Some(raw) => Ok(Entry::from_bytes(dn, &raw)),
+            None => Ok(None),
+        }
+    }
+}
+
+/// SLAMD-like workload: entries generated from an LDIF template.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Base DN suffix.
+    pub suffix: String,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload {
+            suffix: "ou=People,dc=example,dc=com".to_string(),
+        }
+    }
+}
+
+impl Workload {
+    /// Generates the `i`-th directory entry of the template.
+    pub fn entry(&self, i: u64) -> Entry {
+        Entry {
+            dn: format!("uid=user.{i},{}", self.suffix),
+            attrs: vec![
+                ("objectClass".into(), "inetOrgPerson".into()),
+                ("uid".into(), format!("user.{i}")),
+                ("cn".into(), format!("User {i}")),
+                ("sn".into(), format!("Number{i}")),
+                ("mail".into(), format!("user.{i}@example.com")),
+                ("telephoneNumber".into(), format!("+1 555 {:07}", i % 10_000_000)),
+                (
+                    "description".into(),
+                    format!("Generated directory entry number {i} for the SLAMD-like add workload"),
+                ),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmdisk::{DiskConfig, PcmDisk};
+
+    fn fs() -> SimpleFs {
+        SimpleFs::format(Arc::new(PcmDisk::new(DiskConfig::for_testing(32768)))).unwrap()
+    }
+
+    fn check_backend(b: &dyn Backend, n: u64) {
+        let w = Workload::default();
+        let mut s = b.session();
+        for i in 0..n {
+            s.add(&w.entry(i)).unwrap();
+        }
+        for i in 0..n {
+            let e = s.search(&w.entry(i).dn).unwrap().expect("entry present");
+            assert_eq!(e, w.entry(i), "{}: entry {i} mismatch", b.name());
+        }
+        assert!(s.search("uid=nobody,o=nowhere").unwrap().is_none());
+    }
+
+    #[test]
+    fn entry_serialisation_roundtrip() {
+        let e = Workload::default().entry(42);
+        let bytes = e.to_bytes();
+        assert_eq!(Entry::from_bytes(&e.dn, &bytes).unwrap(), e);
+    }
+
+    #[test]
+    fn back_bdb_serves_adds_and_searches() {
+        let b = BackBdb::open(fs()).unwrap();
+        check_backend(&b, 50);
+    }
+
+    #[test]
+    fn back_ldbm_serves_adds_and_searches() {
+        let b = BackLdbm::open(fs(), 16).unwrap();
+        check_backend(&b, 50);
+    }
+
+    #[test]
+    fn back_mnemosyne_serves_adds_and_searches() {
+        let d = std::env::temp_dir().join(format!(
+            "ldap-mnemo-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        let m = Arc::new(
+            mnemosyne::Mnemosyne::builder(&d)
+                .scm_size(64 << 20)
+                .open()
+                .unwrap(),
+        );
+        let b = BackMnemosyne::open(m).unwrap();
+        check_backend(&b, 50);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn concurrent_sessions_on_mnemosyne_backend() {
+        let d = std::env::temp_dir().join(format!(
+            "ldap-conc-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        let m = Arc::new(
+            mnemosyne::Mnemosyne::builder(&d)
+                .scm_size(64 << 20)
+                .open()
+                .unwrap(),
+        );
+        let b = Arc::new(BackMnemosyne::open(m).unwrap());
+        let w = Workload::default();
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let b = Arc::clone(&b);
+            let w = w.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut s = b.session();
+                for i in 0..50u64 {
+                    s.add(&w.entry(t * 1000 + i)).unwrap();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let mut s = b.session();
+        for t in 0..4u64 {
+            for i in 0..50u64 {
+                assert!(s.search(&w.entry(t * 1000 + i).dn).unwrap().is_some());
+            }
+        }
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

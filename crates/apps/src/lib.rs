@@ -1,0 +1,21 @@
+//! Converted applications (§6.2 of the Mnemosyne paper).
+//!
+//! The paper evaluates persistent memory by converting two programs that
+//! already keep a fast in-memory structure alongside a slower durable
+//! store:
+//!
+//! * [`ldap`] — an OpenLDAP-like directory server: entries live in an AVL
+//!   entry cache; three backends differ in how updates become durable
+//!   (`back-bdb`: transactional Berkeley-DB-like store; `back-ldbm`: the
+//!   same store without transactions, flushed periodically;
+//!   `back-mnemosyne`: the cache itself is persistent — the backing store
+//!   is removed entirely). A SLAMD-like generator produces the add
+//!   workload of Table 4;
+//! * [`tokyo`] — a Tokyo-Cabinet-like key-value store holding a B+ tree,
+//!   either in a memory-mapped PCM-disk file `msync`ed after every update
+//!   or in persistent memory with durable transactions.
+
+#![warn(missing_docs)]
+
+pub mod ldap;
+pub mod tokyo;

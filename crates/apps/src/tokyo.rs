@@ -1,0 +1,254 @@
+//! Tokyo-Cabinet-like key-value store (§6.2, Table 4).
+//!
+//! Tokyo Cabinet "stores data in a B+ tree and periodically calls msync
+//! on a memory-mapped file". Two configurations are modelled:
+//!
+//! * [`MsyncTokyo`] — the unmodified design, configured (as in the Table 4
+//!   comparison) "to save data with msync after every update": the tree
+//!   lives in a PCM-disk-backed mapped file; each update rewrites its leaf
+//!   page group and the header, then `msync`s. It "can suffer from torn
+//!   writes if the system fails while flushing pages";
+//! * [`MnemosyneTokyo`] — the conversion: the B+ tree is allocated in a
+//!   persistent region, updates run in durable transactions, and the
+//!   `msync` persistence code is gone.
+//!
+//! Both implement [`KvStore`], the insert/delete interface the Table 4
+//! benchmark drives.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mnemosyne::{Mnemosyne, TxThread};
+use mnemosyne_pds::PBPlusTree;
+use pcmdisk::SimpleFs;
+
+/// The benchmark-facing interface: 64 B / 1024 B insert-delete queries.
+pub trait KvStore: Send {
+    /// Inserts (or replaces) a record durably per the store's policy.
+    fn insert(&mut self, key: u64, value: &[u8]) -> Result<(), String>;
+    /// Deletes a record.
+    fn delete(&mut self, key: u64) -> Result<bool, String>;
+    /// Reads a record.
+    fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>, String>;
+}
+
+/// Keys per mapped leaf-page group. With 64-byte values a group fits one
+/// device block; with 1024-byte values it spans several — so larger
+/// values force proportionally more page traffic per `msync`, the effect
+/// behind Table 4's 64 B vs 1024 B gap.
+const LEAF_FANOUT: u64 = 16;
+
+/// The msync-mode store: a volatile B+ tree mirrored to a mapped file.
+pub struct MsyncTokyo {
+    fs: SimpleFs,
+    file: String,
+    inner: Arc<Mutex<MsyncInner>>,
+}
+
+struct MsyncInner {
+    tree: BTreeMap<u64, Vec<u8>>,
+    /// Fixed byte stride reserved per record in the mapped file.
+    slot_bytes: u64,
+}
+
+impl MsyncTokyo {
+    /// Creates the store over a PCM-disk file; `value_hint` sizes the
+    /// mapped-file slots (Tokyo Cabinet tunes its page size similarly).
+    ///
+    /// # Errors
+    /// Propagates file-system errors.
+    pub fn open(fs: SimpleFs, name: &str, value_hint: usize) -> Result<MsyncTokyo, String> {
+        let file = format!("{name}.tcb");
+        if !fs.exists(&file) {
+            fs.create(&file).map_err(|e| e.to_string())?;
+        }
+        Ok(MsyncTokyo {
+            fs,
+            file,
+            inner: Arc::new(Mutex::new(MsyncInner {
+                tree: BTreeMap::new(),
+                slot_bytes: (16 + value_hint as u64).div_ceil(8) * 8,
+            })),
+        })
+    }
+
+    /// Writes the leaf-page group containing `key` (all records of the
+    /// group, at their slots) plus the header, then syncs — the msync of
+    /// the dirty mapping pages.
+    fn msync_group(&self, inner: &MsyncInner, key: u64) -> Result<(), String> {
+        let group = key / LEAF_FANOUT;
+        let start = group * LEAF_FANOUT;
+        let mut buf = Vec::with_capacity((inner.slot_bytes * LEAF_FANOUT) as usize);
+        for k in start..start + LEAF_FANOUT {
+            let mut slot = vec![0u8; inner.slot_bytes as usize];
+            if let Some(v) = inner.tree.get(&k) {
+                let n = v.len().min(slot.len() - 16);
+                slot[0..8].copy_from_slice(&k.to_le_bytes());
+                slot[8..16].copy_from_slice(&(v.len() as u64).to_le_bytes());
+                slot[16..16 + n].copy_from_slice(&v[..n]);
+            }
+            buf.extend_from_slice(&slot);
+        }
+        let off = 4096 + group * inner.slot_bytes * LEAF_FANOUT;
+        self.fs
+            .pwrite(&self.file, off, &buf)
+            .map_err(|e| e.to_string())?;
+        // Header page: record count.
+        let mut hdr = [0u8; 16];
+        hdr[0..8].copy_from_slice(b"TOKYOCAB");
+        hdr[8..16].copy_from_slice(&(inner.tree.len() as u64).to_le_bytes());
+        self.fs
+            .pwrite(&self.file, 0, &hdr)
+            .map_err(|e| e.to_string())?;
+        self.fs.fsync(&self.file).map_err(|e| e.to_string())?;
+        Ok(())
+    }
+}
+
+impl KvStore for MsyncTokyo {
+    fn insert(&mut self, key: u64, value: &[u8]) -> Result<(), String> {
+        let inner = Arc::clone(&self.inner);
+        let mut inner = inner.lock();
+        inner.tree.insert(key, value.to_vec());
+        self.msync_group(&inner, key)
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool, String> {
+        let inner = Arc::clone(&self.inner);
+        let mut inner = inner.lock();
+        let existed = inner.tree.remove(&key).is_some();
+        if existed {
+            self.msync_group(&inner, key)?;
+        }
+        Ok(existed)
+    }
+
+    fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>, String> {
+        Ok(self.inner.lock().tree.get(&key).cloned())
+    }
+}
+
+/// The converted store: a persistent B+ tree with durable transactions —
+/// "we completely removed the persistence code that calls msync … and
+/// relied on transactions for concurrency control".
+pub struct MnemosyneTokyo {
+    tree: PBPlusTree,
+    th: TxThread,
+}
+
+impl MnemosyneTokyo {
+    /// Opens the store over a booted Mnemosyne stack. One handle per
+    /// worker thread (transactions provide the concurrency control).
+    ///
+    /// # Errors
+    /// Propagates stack errors.
+    pub fn open(m: &Arc<Mnemosyne>, name: &str) -> Result<MnemosyneTokyo, String> {
+        let mut th = m.register_thread().map_err(|e| e.to_string())?;
+        let tree = PBPlusTree::open(m, &mut th, name).map_err(|e| e.to_string())?;
+        Ok(MnemosyneTokyo { tree, th })
+    }
+}
+
+impl KvStore for MnemosyneTokyo {
+    fn insert(&mut self, key: u64, value: &[u8]) -> Result<(), String> {
+        self.tree
+            .insert(&mut self.th, key, value)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+
+    fn delete(&mut self, key: u64) -> Result<bool, String> {
+        self.tree
+            .remove(&mut self.th, key)
+            .map_err(|e| e.to_string())
+    }
+
+    fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>, String> {
+        self.tree.get(&mut self.th, key).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmdisk::{DiskConfig, PcmDisk};
+
+    fn fs() -> SimpleFs {
+        SimpleFs::format(Arc::new(PcmDisk::new(DiskConfig::for_testing(65536)))).unwrap()
+    }
+
+    fn exercise(store: &mut dyn KvStore) {
+        for i in 0..100u64 {
+            store.insert(i, &vec![(i % 251) as u8; 64]).unwrap();
+        }
+        for i in 0..100u64 {
+            assert_eq!(store.get(i).unwrap().unwrap(), vec![(i % 251) as u8; 64]);
+        }
+        for i in 0..50u64 {
+            assert!(store.delete(i * 2).unwrap());
+        }
+        for i in 0..100u64 {
+            assert_eq!(store.get(i).unwrap().is_some(), i % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn msync_mode_roundtrip() {
+        let mut s = MsyncTokyo::open(fs(), "tc", 64).unwrap();
+        exercise(&mut s);
+    }
+
+    #[test]
+    fn msync_mode_writes_pages_per_update() {
+        let fs = fs();
+        let disk = Arc::clone(fs.disk());
+        let mut s = MsyncTokyo::open(fs, "tc", 64).unwrap();
+        let before = disk.stats().3;
+        s.insert(1, &[0u8; 64]).unwrap();
+        let after = disk.stats().3;
+        assert!(after > before, "every update must sync pages");
+    }
+
+    #[test]
+    fn mnemosyne_mode_roundtrip() {
+        let d = std::env::temp_dir().join(format!(
+            "tokyo-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        let m = Arc::new(
+            Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap(),
+        );
+        let mut s = MnemosyneTokyo::open(&m, "tc").unwrap();
+        exercise(&mut s);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn mnemosyne_mode_survives_crash_msync_mode_does_not() {
+        use mnemosyne::CrashPolicy;
+        let d = std::env::temp_dir().join(format!(
+            "tokyo-crash-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        let m = Arc::new(Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap());
+        {
+            let mut s = MnemosyneTokyo::open(&m, "tc").unwrap();
+            for i in 0..50u64 {
+                s.insert(i, &[7u8; 64]).unwrap();
+            }
+        }
+        let m = Arc::try_unwrap(m).ok().expect("sole owner");
+        let m2 = Arc::new(m.crash_reboot(CrashPolicy::random(3)).unwrap());
+        let mut s = MnemosyneTokyo::open(&m2, "tc").unwrap();
+        for i in 0..50u64 {
+            assert_eq!(s.get(i).unwrap().unwrap(), vec![7u8; 64]);
+        }
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

@@ -1,0 +1,59 @@
+//! Storage-manager error type.
+
+use std::fmt;
+
+use pcmdisk::FsError;
+
+/// Errors from the storage manager.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying file-system failure.
+    Fs(FsError),
+    /// Key or value exceeds the supported maximum.
+    TooLarge {
+        /// Offending length in bytes.
+        len: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+    /// The data file is corrupt.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Fs(e) => write!(f, "file system error: {e}"),
+            StoreError::TooLarge { len, max } => {
+                write!(f, "item of {len} bytes exceeds maximum {max}")
+            }
+            StoreError::Corrupt(w) => write!(f, "corrupt store: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FsError> for StoreError {
+    fn from(e: FsError) -> Self {
+        StoreError::Fs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = StoreError::TooLarge { len: 10, max: 4 };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,29 @@
+//! bdbstore — a Berkeley-DB-like transactional storage manager.
+//!
+//! The Mnemosyne paper compares durable memory transactions against
+//! "Berkeley DB's optimized storage" running on the PCM-disk emulator
+//! (§6.3): a disk-era design with page-granularity I/O, a central
+//! write-ahead log with **group commit**, and a buffer cache. This crate
+//! reproduces the performance-relevant structure of that baseline:
+//!
+//! * a **page-based hash table** (4 KB bucket pages, overflow chains,
+//!   whole-page spill for large values) stored in a [`pcmdisk::SimpleFs`]
+//!   file ([`page`], [`store`]);
+//! * a **centralized log buffer** protected by one mutex, flushed with
+//!   `fsync` and shared across committers via group commit ([`wal`]) —
+//!   the very structure the paper identifies as Berkeley DB's >2-thread
+//!   serialization bottleneck;
+//! * logical redo recovery: the data file is checkpointed periodically,
+//!   and on open the WAL's records are re-executed;
+//! * an **ldbm mode** (no transactions, periodic dirty-page flushes) that
+//!   models OpenLDAP's `back-ldbm` configuration (§6.2).
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod page;
+pub mod store;
+pub mod wal;
+
+pub use error::StoreError;
+pub use store::{BdbStore, Durability, StoreConfig};

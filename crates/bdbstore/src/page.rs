@@ -1,0 +1,288 @@
+//! Bucket-page codec: fixed 4 KB pages holding variable-length entries.
+//!
+//! Layout:
+//!
+//! ```text
+//! [count u16][used u16][next_overflow u32]      8-byte header
+//! entry*: [klen u16][vword u16][key][value or spill ref]
+//! ```
+//!
+//! `vword`'s high bit marks a **spilled** value: the in-page payload is
+//! then an 8-byte `(start_page u32, reserved u32)` reference and the low
+//! 15 bits give the true value length (whole pages follow at
+//! `start_page`). Values above [`SPILL_THRESHOLD`] spill, mirroring
+//! Berkeley DB's overflow records for large items.
+
+use crate::error::StoreError;
+
+/// Page size (matches the device block size).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Header bytes at the start of each bucket page.
+pub const HEADER: usize = 8;
+
+/// Values longer than this are stored in dedicated spill pages.
+pub const SPILL_THRESHOLD: usize = 1024;
+
+/// Maximum key length.
+pub const KEY_MAX: usize = 1024;
+
+/// Maximum value length (15-bit length field).
+pub const VALUE_MAX: usize = 32 * 1024;
+
+const SPILL_FLAG: u16 = 0x8000;
+
+/// A parsed entry reference inside a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// Value stored inline.
+    Inline(Vec<u8>),
+    /// Value spilled: `(first spill page, value length)`.
+    Spilled(u32, usize),
+}
+
+/// In-memory wrapper over one bucket page image.
+#[derive(Debug, Clone)]
+pub struct Page(pub Vec<u8>);
+
+impl Default for Page {
+    fn default() -> Self {
+        Page(vec![0; PAGE_SIZE])
+    }
+}
+
+impl Page {
+    /// Wraps an existing page image.
+    ///
+    /// # Panics
+    /// Panics if the image is not exactly one page.
+    pub fn from_bytes(data: Vec<u8>) -> Page {
+        assert_eq!(data.len(), PAGE_SIZE);
+        Page(data)
+    }
+
+    /// Number of entries.
+    pub fn count(&self) -> u16 {
+        u16::from_le_bytes([self.0[0], self.0[1]])
+    }
+
+    /// Bytes used by entries (after the header).
+    pub fn used(&self) -> u16 {
+        u16::from_le_bytes([self.0[2], self.0[3]])
+    }
+
+    /// Next overflow page id (0 = none).
+    pub fn next_overflow(&self) -> u32 {
+        u32::from_le_bytes([self.0[4], self.0[5], self.0[6], self.0[7]])
+    }
+
+    /// Sets the overflow link.
+    pub fn set_next_overflow(&mut self, page: u32) {
+        self.0[4..8].copy_from_slice(&page.to_le_bytes());
+    }
+
+    fn set_count(&mut self, c: u16) {
+        self.0[0..2].copy_from_slice(&c.to_le_bytes());
+    }
+
+    fn set_used(&mut self, u: u16) {
+        self.0[2..4].copy_from_slice(&u.to_le_bytes());
+    }
+
+    /// Free bytes available for a new entry.
+    pub fn free_space(&self) -> usize {
+        PAGE_SIZE - HEADER - self.used() as usize
+    }
+
+    /// Bytes an entry occupies in-page.
+    pub fn entry_size(klen: usize, vlen: usize, spilled: bool) -> usize {
+        4 + klen + if spilled { 8 } else { vlen }
+    }
+
+    /// Iterates entries as `(offset, key, value)`.
+    pub fn iter(&self) -> PageIter<'_> {
+        PageIter {
+            page: self,
+            off: HEADER,
+            remaining: self.count(),
+        }
+    }
+
+    /// Finds the entry for `key`, returning `(offset, value)`.
+    pub fn find(&self, key: &[u8]) -> Option<(usize, Value)> {
+        self.iter()
+            .find(|(_, k, _)| k.as_slice() == key)
+            .map(|(off, _, v)| (off, v))
+    }
+
+    /// Appends an entry; the caller has checked `free_space`.
+    ///
+    /// # Errors
+    /// Fails if key/value exceed the format limits.
+    pub fn push(&mut self, key: &[u8], value: &Value) -> Result<(), StoreError> {
+        if key.len() > KEY_MAX {
+            return Err(StoreError::TooLarge {
+                len: key.len(),
+                max: KEY_MAX,
+            });
+        }
+        let (vword, payload): (u16, Vec<u8>) = match value {
+            Value::Inline(v) => {
+                if v.len() >= SPILL_FLAG as usize {
+                    return Err(StoreError::TooLarge {
+                        len: v.len(),
+                        max: SPILL_FLAG as usize - 1,
+                    });
+                }
+                (v.len() as u16, v.clone())
+            }
+            Value::Spilled(start, len) => {
+                if *len > VALUE_MAX {
+                    return Err(StoreError::TooLarge {
+                        len: *len,
+                        max: VALUE_MAX,
+                    });
+                }
+                let mut p = Vec::with_capacity(8);
+                p.extend_from_slice(&start.to_le_bytes());
+                p.extend_from_slice(&(*len as u32).to_le_bytes());
+                (SPILL_FLAG, p)
+            }
+        };
+        let need = 4 + key.len() + payload.len();
+        assert!(need <= self.free_space(), "page overflow: caller must check");
+        let off = HEADER + self.used() as usize;
+        self.0[off..off + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+        self.0[off + 2..off + 4].copy_from_slice(&vword.to_le_bytes());
+        self.0[off + 4..off + 4 + key.len()].copy_from_slice(key);
+        self.0[off + 4 + key.len()..off + need].copy_from_slice(&payload);
+        self.set_count(self.count() + 1);
+        self.set_used(self.used() + need as u16);
+        Ok(())
+    }
+
+    /// Removes the entry at `off` (from [`Page::find`]), compacting the
+    /// page. Returns the removed value.
+    pub fn remove_at(&mut self, off: usize) -> Value {
+        let (key_len, value, total) = self.decode_at(off);
+        let _ = key_len;
+        let used = HEADER + self.used() as usize;
+        self.0.copy_within(off + total..used, off);
+        self.0[used - total..used].fill(0);
+        self.set_count(self.count() - 1);
+        self.set_used(self.used() - total as u16);
+        value
+    }
+
+    fn decode_at(&self, off: usize) -> (usize, Value, usize) {
+        let klen = u16::from_le_bytes([self.0[off], self.0[off + 1]]) as usize;
+        let vword = u16::from_le_bytes([self.0[off + 2], self.0[off + 3]]);
+        if vword & SPILL_FLAG != 0 {
+            let p = off + 4 + klen;
+            let start = u32::from_le_bytes(self.0[p..p + 4].try_into().unwrap());
+            let len = u32::from_le_bytes(self.0[p + 4..p + 8].try_into().unwrap()) as usize;
+            (klen, Value::Spilled(start, len), 4 + klen + 8)
+        } else {
+            let vlen = vword as usize;
+            let p = off + 4 + klen;
+            (
+                klen,
+                Value::Inline(self.0[p..p + vlen].to_vec()),
+                4 + klen + vlen,
+            )
+        }
+    }
+}
+
+/// Iterator over a page's entries.
+#[derive(Debug)]
+pub struct PageIter<'a> {
+    page: &'a Page,
+    off: usize,
+    remaining: u16,
+}
+
+impl Iterator for PageIter<'_> {
+    type Item = (usize, Vec<u8>, Value);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let off = self.off;
+        let (klen, value, total) = self.page.decode_at(off);
+        let key = self.page.0[off + 4..off + 4 + klen].to_vec();
+        self.off += total;
+        self.remaining -= 1;
+        Some((off, key, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_find_remove() {
+        let mut p = Page::default();
+        p.push(b"alpha", &Value::Inline(b"one".to_vec())).unwrap();
+        p.push(b"beta", &Value::Inline(b"two".to_vec())).unwrap();
+        assert_eq!(p.count(), 2);
+        let (off, v) = p.find(b"alpha").unwrap();
+        assert_eq!(v, Value::Inline(b"one".to_vec()));
+        p.remove_at(off);
+        assert_eq!(p.count(), 1);
+        assert!(p.find(b"alpha").is_none());
+        let (_, v) = p.find(b"beta").unwrap();
+        assert_eq!(v, Value::Inline(b"two".to_vec()));
+    }
+
+    #[test]
+    fn spill_reference_roundtrip() {
+        let mut p = Page::default();
+        p.push(b"big", &Value::Spilled(42, 5000)).unwrap();
+        let (_, v) = p.find(b"big").unwrap();
+        assert_eq!(v, Value::Spilled(42, 5000));
+    }
+
+    #[test]
+    fn free_space_accounting() {
+        let mut p = Page::default();
+        let before = p.free_space();
+        p.push(b"k", &Value::Inline(vec![0; 10])).unwrap();
+        assert_eq!(p.free_space(), before - Page::entry_size(1, 10, false));
+    }
+
+    #[test]
+    fn fills_until_capacity() {
+        let mut p = Page::default();
+        let mut n = 0;
+        loop {
+            let key = format!("key-{n:05}");
+            if p.free_space() < Page::entry_size(key.len(), 20, false) {
+                break;
+            }
+            p.push(key.as_bytes(), &Value::Inline(vec![7; 20])).unwrap();
+            n += 1;
+        }
+        assert!(n > 100);
+        assert_eq!(p.count() as usize, n);
+        // All still findable after the fill.
+        assert!(p.find(b"key-00000").is_some());
+        assert!(p.find(format!("key-{:05}", n - 1).as_bytes()).is_some());
+    }
+
+    #[test]
+    fn overflow_link() {
+        let mut p = Page::default();
+        assert_eq!(p.next_overflow(), 0);
+        p.set_next_overflow(99);
+        assert_eq!(p.next_overflow(), 99);
+    }
+
+    #[test]
+    fn oversize_key_rejected() {
+        let mut p = Page::default();
+        assert!(p.push(&vec![0u8; KEY_MAX + 1], &Value::Inline(vec![])).is_err());
+    }
+}

@@ -1,0 +1,542 @@
+//! The storage manager: a page-based hash database with WAL-backed
+//! auto-commit updates (Berkeley DB stand-in) and an ldbm mode.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Mutex, RwLock};
+use pcmdisk::SimpleFs;
+
+use crate::error::StoreError;
+use crate::page::{Page, Value, PAGE_SIZE, SPILL_THRESHOLD, VALUE_MAX};
+use crate::wal::{Wal, WalRecord};
+
+const META_MAGIC: u64 = u64::from_le_bytes(*b"BDBSTORE");
+
+/// Durability regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Every update commits through the WAL before returning — the
+    /// default transactional Berkeley DB configuration (`back-bdb`).
+    Transactional,
+    /// No log; dirty pages are flushed every `flush_every` updates — the
+    /// `back-ldbm` configuration, trading a window of vulnerability for
+    /// speed (§6.2).
+    Ldbm {
+        /// Updates between flushes.
+        flush_every: u64,
+    },
+}
+
+/// Configuration for [`BdbStore::open`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Number of hash buckets (fixed at creation).
+    pub buckets: u32,
+    /// Durability regime.
+    pub durability: Durability,
+    /// WAL size that triggers a checkpoint, in bytes.
+    pub checkpoint_bytes: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            buckets: 1024,
+            durability: Durability::Transactional,
+            checkpoint_bytes: 4 << 20,
+        }
+    }
+}
+
+struct Meta {
+    next_free_page: u32,
+    /// Reusable spill runs `(start, pages)`.
+    free_spills: Vec<(u32, u32)>,
+}
+
+/// The storage manager.
+pub struct BdbStore {
+    fs: SimpleFs,
+    data_file: String,
+    wal: Option<Wal>,
+    config: StoreConfig,
+    bucket_locks: Vec<Mutex<()>>,
+    meta: Mutex<Meta>,
+    /// Readers of this lock are normal operations; a checkpoint takes it
+    /// exclusively.
+    checkpoint_gate: RwLock<()>,
+    ops: AtomicU64,
+    puts: AtomicU64,
+    gets: AtomicU64,
+    dels: AtomicU64,
+}
+
+impl std::fmt::Debug for BdbStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BdbStore")
+            .field("file", &self.data_file)
+            .field("buckets", &self.config.buckets)
+            .finish()
+    }
+}
+
+fn fnv1a(key: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl BdbStore {
+    /// Opens (creating or recovering) the database `name` on `fs`.
+    /// Recovery replays the WAL's logical records onto the last
+    /// checkpointed data file, then checkpoints.
+    ///
+    /// # Errors
+    /// Propagates file-system errors; fails on a corrupt meta page.
+    pub fn open(fs: SimpleFs, name: &str, config: StoreConfig) -> Result<BdbStore, StoreError> {
+        let data_file = format!("{name}.db");
+        let wal_file = format!("{name}.wal");
+        let fresh = !fs.exists(&data_file);
+        if fresh {
+            fs.create(&data_file)?;
+        }
+        let wal = match config.durability {
+            Durability::Transactional => Some(Wal::open(fs.clone(), &wal_file)?),
+            Durability::Ldbm { .. } => None,
+        };
+        let store = BdbStore {
+            bucket_locks: (0..config.buckets).map(|_| Mutex::new(())).collect(),
+            meta: Mutex::new(Meta {
+                next_free_page: config.buckets + 1,
+                free_spills: Vec::new(),
+            }),
+            checkpoint_gate: RwLock::new(()),
+            ops: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            dels: AtomicU64::new(0),
+            fs,
+            data_file,
+            wal,
+            config,
+        };
+        if fresh {
+            store.write_meta()?;
+            store.fs.sync();
+        } else {
+            // Read the checkpointed meta page.
+            let meta_page = store.read_page(0)?;
+            let magic = u64::from_le_bytes(meta_page.0[0..8].try_into().unwrap());
+            if magic != META_MAGIC {
+                return Err(StoreError::Corrupt("bad meta magic"));
+            }
+            let buckets = u32::from_le_bytes(meta_page.0[8..12].try_into().unwrap());
+            if buckets != store.config.buckets {
+                return Err(StoreError::Corrupt("bucket count mismatch"));
+            }
+            store.meta.lock().next_free_page =
+                u32::from_le_bytes(meta_page.0[12..16].try_into().unwrap());
+            // Replay the WAL (logical redo), then checkpoint.
+            if let Some(wal) = &store.wal {
+                let records = wal.read_all()?;
+                for rec in records {
+                    match rec {
+                        WalRecord::Put { key, value } => store.apply_put(&key, &value)?,
+                        WalRecord::Delete { key } => {
+                            store.apply_delete(&key)?;
+                        }
+                    }
+                }
+                store.checkpoint()?;
+            }
+        }
+        Ok(store)
+    }
+
+    fn write_meta(&self) -> Result<(), StoreError> {
+        let meta = self.meta.lock();
+        let mut page = Page::default();
+        page.0[0..8].copy_from_slice(&META_MAGIC.to_le_bytes());
+        page.0[8..12].copy_from_slice(&self.config.buckets.to_le_bytes());
+        page.0[12..16].copy_from_slice(&meta.next_free_page.to_le_bytes());
+        drop(meta);
+        self.write_page(0, &page)
+    }
+
+    fn read_page(&self, id: u32) -> Result<Page, StoreError> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let n = self.fs.pread(&self.data_file, id as u64 * PAGE_SIZE as u64, &mut buf)?;
+        buf[n..].fill(0);
+        Ok(Page::from_bytes(buf))
+    }
+
+    fn write_page(&self, id: u32, page: &Page) -> Result<(), StoreError> {
+        self.fs
+            .pwrite(&self.data_file, id as u64 * PAGE_SIZE as u64, &page.0)?;
+        Ok(())
+    }
+
+    fn alloc_pages(&self, n: u32) -> u32 {
+        let mut meta = self.meta.lock();
+        if let Some(pos) = meta.free_spills.iter().position(|&(_, len)| len == n) {
+            return meta.free_spills.swap_remove(pos).0;
+        }
+        let start = meta.next_free_page;
+        meta.next_free_page += n;
+        start
+    }
+
+    fn free_pages(&self, start: u32, n: u32) {
+        self.meta.lock().free_spills.push((start, n));
+    }
+
+    fn write_spill(&self, value: &[u8]) -> Result<Value, StoreError> {
+        let pages = value.len().div_ceil(PAGE_SIZE) as u32;
+        let start = self.alloc_pages(pages);
+        self.fs
+            .pwrite(&self.data_file, start as u64 * PAGE_SIZE as u64, value)?;
+        Ok(Value::Spilled(start, value.len()))
+    }
+
+    fn read_value(&self, v: &Value) -> Result<Vec<u8>, StoreError> {
+        match v {
+            Value::Inline(b) => Ok(b.clone()),
+            Value::Spilled(start, len) => {
+                let mut buf = vec![0u8; *len];
+                let n = self
+                    .fs
+                    .pread(&self.data_file, *start as u64 * PAGE_SIZE as u64, &mut buf)?;
+                buf[n..].fill(0);
+                Ok(buf)
+            }
+        }
+    }
+
+    fn drop_value(&self, v: &Value) {
+        if let Value::Spilled(start, len) = v {
+            self.free_pages(*start, len.div_ceil(PAGE_SIZE) as u32);
+        }
+    }
+
+    /// Physically inserts/replaces a key (no logging, no durability).
+    fn apply_put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        if value.len() > VALUE_MAX {
+            return Err(StoreError::TooLarge {
+                len: value.len(),
+                max: VALUE_MAX,
+            });
+        }
+        let bucket = (fnv1a(key) % self.config.buckets as u64) as u32;
+        let _guard = self.bucket_locks[bucket as usize].lock();
+        // Remove an existing entry first.
+        self.remove_locked(bucket, key)?;
+        let stored = if value.len() > SPILL_THRESHOLD {
+            self.write_spill(value)?
+        } else {
+            Value::Inline(value.to_vec())
+        };
+        // Find a chain page with room.
+        let need = Page::entry_size(
+            key.len(),
+            value.len(),
+            matches!(stored, Value::Spilled(..)),
+        );
+        let mut id = bucket + 1;
+        loop {
+            let mut page = self.read_page(id)?;
+            if page.free_space() >= need {
+                page.push(key, &stored)?;
+                self.write_page(id, &page)?;
+                return Ok(());
+            }
+            let next = page.next_overflow();
+            if next == 0 {
+                let new_id = self.alloc_pages(1);
+                let mut fresh = Page::default();
+                fresh.push(key, &stored)?;
+                self.write_page(new_id, &fresh)?;
+                page.set_next_overflow(new_id);
+                self.write_page(id, &page)?;
+                return Ok(());
+            }
+            id = next;
+        }
+    }
+
+    /// Physically removes a key; returns whether it existed.
+    fn apply_delete(&self, key: &[u8]) -> Result<bool, StoreError> {
+        let bucket = (fnv1a(key) % self.config.buckets as u64) as u32;
+        let _guard = self.bucket_locks[bucket as usize].lock();
+        self.remove_locked(bucket, key)
+    }
+
+    fn remove_locked(&self, bucket: u32, key: &[u8]) -> Result<bool, StoreError> {
+        let mut id = bucket + 1;
+        loop {
+            let mut page = self.read_page(id)?;
+            if let Some((off, _)) = page.find(key) {
+                let old = page.remove_at(off);
+                self.drop_value(&old);
+                self.write_page(id, &page)?;
+                return Ok(true);
+            }
+            let next = page.next_overflow();
+            if next == 0 {
+                return Ok(false);
+            }
+            id = next;
+        }
+    }
+
+    fn after_update(&self, rec: Option<WalRecord>) -> Result<(), StoreError> {
+        match self.config.durability {
+            Durability::Transactional => {
+                let wal = self.wal.as_ref().expect("transactional store has a wal");
+                let rec = rec.expect("transactional update produces a record");
+                let lsn = wal.append(&rec);
+                wal.commit(lsn)?;
+                if wal.size() > self.config.checkpoint_bytes {
+                    self.checkpoint()?;
+                }
+            }
+            Durability::Ldbm { flush_every } => {
+                let n = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
+                if flush_every > 0 && n % flush_every == 0 {
+                    self.fs.sync();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts or replaces `key → value`, committing per the durability
+    /// regime before returning (auto-commit, the paper's workload shape:
+    /// "data is committed to storage on every update").
+    ///
+    /// # Errors
+    /// Propagates file-system errors; fails on oversized items.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        let _gate = self.checkpoint_gate.read();
+        self.apply_put(key, value)?;
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        drop(_gate);
+        self.after_update(Some(WalRecord::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        }))
+    }
+
+    /// Removes `key`, returning whether it existed.
+    ///
+    /// # Errors
+    /// Propagates file-system errors.
+    pub fn delete(&self, key: &[u8]) -> Result<bool, StoreError> {
+        let _gate = self.checkpoint_gate.read();
+        let existed = self.apply_delete(key)?;
+        self.dels.fetch_add(1, Ordering::Relaxed);
+        drop(_gate);
+        if existed {
+            self.after_update(Some(WalRecord::Delete { key: key.to_vec() }))?;
+        }
+        Ok(existed)
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    /// Propagates file-system errors.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        let _gate = self.checkpoint_gate.read();
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        let bucket = (fnv1a(key) % self.config.buckets as u64) as u32;
+        let _guard = self.bucket_locks[bucket as usize].lock();
+        let mut id = bucket + 1;
+        loop {
+            let page = self.read_page(id)?;
+            if let Some((_, v)) = page.find(key) {
+                return Ok(Some(self.read_value(&v)?));
+            }
+            let next = page.next_overflow();
+            if next == 0 {
+                return Ok(None);
+            }
+            id = next;
+        }
+    }
+
+    /// Checkpoint: force all dirty pages to PCM, persist the allocator
+    /// meta, and truncate the WAL.
+    ///
+    /// # Errors
+    /// Propagates file-system errors.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        let _gate = self.checkpoint_gate.write();
+        self.write_meta()?;
+        self.fs.sync();
+        if let Some(wal) = &self.wal {
+            wal.reset()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes dirty pages (the ldbm periodic flush; also usable as a
+    /// manual sync in any mode).
+    pub fn flush(&self) {
+        self.fs.sync();
+    }
+
+    /// `(puts, gets, deletes)` since open.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.puts.load(Ordering::Relaxed),
+            self.gets.load(Ordering::Relaxed),
+            self.dels.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The underlying file system (for device statistics).
+    pub fn fs(&self) -> &SimpleFs {
+        &self.fs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmdisk::{DiskConfig, PcmDisk};
+    use std::sync::Arc;
+
+    fn store(cfg: StoreConfig) -> BdbStore {
+        let fs = SimpleFs::format(Arc::new(PcmDisk::new(DiskConfig::for_testing(32768)))).unwrap();
+        BdbStore::open(fs, "test", cfg).unwrap()
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let s = store(StoreConfig::default());
+        s.put(b"alpha", b"one").unwrap();
+        s.put(b"beta", b"two").unwrap();
+        assert_eq!(s.get(b"alpha").unwrap().unwrap(), b"one");
+        s.put(b"alpha", b"uno").unwrap();
+        assert_eq!(s.get(b"alpha").unwrap().unwrap(), b"uno");
+        assert!(s.delete(b"alpha").unwrap());
+        assert!(!s.delete(b"alpha").unwrap());
+        assert!(s.get(b"alpha").unwrap().is_none());
+        assert_eq!(s.get(b"beta").unwrap().unwrap(), b"two");
+    }
+
+    #[test]
+    fn large_values_spill_and_return_intact() {
+        let s = store(StoreConfig::default());
+        let big: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        s.put(b"big", &big).unwrap();
+        assert_eq!(s.get(b"big").unwrap().unwrap(), big);
+        s.put(b"big", b"small now").unwrap();
+        assert_eq!(s.get(b"big").unwrap().unwrap(), b"small now");
+    }
+
+    #[test]
+    fn overflow_chains_grow() {
+        let s = store(StoreConfig {
+            buckets: 2,
+            ..StoreConfig::default()
+        });
+        for i in 0..500u32 {
+            s.put(format!("key-{i}").as_bytes(), &vec![0xab; 64]).unwrap();
+        }
+        for i in 0..500u32 {
+            assert_eq!(
+                s.get(format!("key-{i}").as_bytes()).unwrap().unwrap(),
+                vec![0xab; 64],
+                "key-{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn committed_updates_survive_crash() {
+        let fs = SimpleFs::format(Arc::new(PcmDisk::new(DiskConfig::for_testing(32768)))).unwrap();
+        let disk = Arc::clone(fs.disk());
+        {
+            let s = BdbStore::open(fs.clone(), "db", StoreConfig::default()).unwrap();
+            s.put(b"durable", b"yes").unwrap();
+        }
+        disk.crash(); // drop everything unsynced (data pages!)
+        let fs2 = SimpleFs::open(disk).unwrap();
+        let s2 = BdbStore::open(fs2, "db", StoreConfig::default()).unwrap();
+        assert_eq!(
+            s2.get(b"durable").unwrap().unwrap(),
+            b"yes",
+            "WAL replay must recover the committed put"
+        );
+    }
+
+    #[test]
+    fn ldbm_mode_loses_recent_updates_on_crash() {
+        let fs = SimpleFs::format(Arc::new(PcmDisk::new(DiskConfig::for_testing(32768)))).unwrap();
+        let disk = Arc::clone(fs.disk());
+        let cfg = StoreConfig {
+            durability: Durability::Ldbm { flush_every: 1000 },
+            ..StoreConfig::default()
+        };
+        {
+            let s = BdbStore::open(fs.clone(), "db", cfg.clone()).unwrap();
+            s.put(b"gone", b"poof").unwrap();
+        }
+        disk.crash();
+        let fs2 = SimpleFs::open(disk).unwrap();
+        let s2 = BdbStore::open(fs2, "db", cfg).unwrap();
+        assert!(
+            s2.get(b"gone").unwrap().is_none(),
+            "ldbm offers only a window of durability"
+        );
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_preserves_data() {
+        let s = store(StoreConfig::default());
+        for i in 0..100u32 {
+            s.put(format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        s.checkpoint().unwrap();
+        for i in 0..100u32 {
+            assert!(s.get(format!("k{i}").as_bytes()).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn concurrent_distinct_keys() {
+        let s = Arc::new(store(StoreConfig::default()));
+        let mut joins = Vec::new();
+        for t in 0..4u32 {
+            let s = Arc::clone(&s);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    let k = format!("t{t}-k{i}");
+                    s.put(k.as_bytes(), k.as_bytes()).unwrap();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        for t in 0..4u32 {
+            for i in 0..100u32 {
+                let k = format!("t{t}-k{i}");
+                assert_eq!(s.get(k.as_bytes()).unwrap().unwrap(), k.as_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_value_rejected() {
+        let s = store(StoreConfig::default());
+        assert!(matches!(
+            s.put(b"k", &vec![0u8; VALUE_MAX + 1]),
+            Err(StoreError::TooLarge { .. })
+        ));
+    }
+}

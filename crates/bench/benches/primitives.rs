@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks of the core primitives: tornbit vs
+//! commit-record log appends, durable transaction commits, and persistent
+//! allocation. These run without delay emulation so they measure the
+//! *software* overhead of each mechanism.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use mnemosyne::{CommitRecordLog, Mnemosyne, TornbitLog, Truncation};
+use mnemosyne_region::{RegionManager, Regions};
+use mnemosyne_scm::{ScmConfig, ScmSim};
+
+fn bench_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("mnemo-crit-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn logs(c: &mut Criterion) {
+    let dir = bench_dir("logs");
+    let sim = ScmSim::new(ScmConfig::for_testing(64 << 20));
+    let mgr = RegionManager::boot(&sim, &dir).unwrap();
+    let (regions, pmem) = Regions::open(&mgr, 1 << 16).unwrap();
+    let r1 = regions.pmap("tb", 64 + (1 << 16) * 8, &pmem).unwrap();
+    let r2 = regions.pmap("cl", 64 + (1 << 16) * 8, &pmem).unwrap();
+    let mut tlog = TornbitLog::create(regions.pmem_handle(), r1.addr, 1 << 16).unwrap();
+    let mut clog = CommitRecordLog::create(regions.pmem_handle(), r2.addr, 1 << 16).unwrap();
+    let payload = [7u64; 8]; // 64-byte record
+
+    let mut g = c.benchmark_group("rawl");
+    g.bench_function("tornbit_append_flush_64B", |b| {
+        b.iter(|| {
+            if tlog.free_words() < 32 {
+                tlog.truncate_all();
+            }
+            tlog.append(&payload).unwrap();
+            tlog.flush();
+        })
+    });
+    g.bench_function("commit_record_append_64B", |b| {
+        b.iter(|| {
+            if clog.free_words() < 32 {
+                clog.truncate_all();
+            }
+            clog.append(&payload).unwrap();
+        })
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn transactions(c: &mut Criterion) {
+    let dir = bench_dir("tx");
+    let m = Mnemosyne::builder(&dir)
+        .scm_size(64 << 20)
+        .truncation(Truncation::Sync)
+        .open()
+        .unwrap();
+    let area = m.pstatic("bench", 4096).unwrap();
+    let mut th = m.register_thread().unwrap();
+
+    let mut g = c.benchmark_group("mtm");
+    g.bench_function("commit_1_word", |b| {
+        b.iter(|| th.atomic(|tx| tx.write_u64(area, 1)).unwrap())
+    });
+    g.bench_function("commit_8_words_1_line", |b| {
+        b.iter(|| {
+            th.atomic(|tx| {
+                for i in 0..8u64 {
+                    tx.write_u64(area.add(i * 8), i)?;
+                }
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+    g.bench_function("commit_64_words_8_lines", |b| {
+        b.iter(|| {
+            th.atomic(|tx| {
+                for i in 0..64u64 {
+                    tx.write_u64(area.add(i * 8), i)?;
+                }
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+    g.bench_function("read_only_8_words", |b| {
+        b.iter(|| {
+            th.atomic(|tx| {
+                let mut s = 0u64;
+                for i in 0..8u64 {
+                    s = s.wrapping_add(tx.read_u64(area.add(i * 8))?);
+                }
+                Ok(s)
+            })
+            .unwrap()
+        })
+    });
+    g.finish();
+    drop(th);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn heap(c: &mut Criterion) {
+    let dir = bench_dir("heap");
+    let m = Mnemosyne::builder(&dir)
+        .scm_size(128 << 20)
+        .heap_sizes(32 << 20, 32 << 20)
+        .open()
+        .unwrap();
+    let cell = m.pstatic("cell", 8).unwrap();
+    let heap = std::sync::Arc::clone(m.heap());
+
+    let mut g = c.benchmark_group("pheap");
+    g.bench_function("pmalloc_pfree_64B", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                heap.pmalloc(64, cell).unwrap();
+                heap.pfree(cell).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("pmalloc_pfree_8KB_large_path", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                heap.pmalloc(8192, cell).unwrap();
+                heap.pfree(cell).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, logs, transactions, heap);
+criterion_main!(benches);

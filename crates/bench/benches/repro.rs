@@ -1,0 +1,16 @@
+//! `cargo bench` entry point that regenerates every table and figure
+//! (quick scale unless REPRO_SCALE=full).
+
+fn main() {
+    let scale = mnemosyne_bench::Scale::from_env();
+    mnemosyne_bench::exp::table1::run(scale);
+    mnemosyne_bench::exp::table4::run(scale);
+    mnemosyne_bench::exp::table5::run(scale);
+    mnemosyne_bench::exp::table6::run(scale);
+    mnemosyne_bench::exp::fig4::run(scale);
+    mnemosyne_bench::exp::fig5::run(scale);
+    mnemosyne_bench::exp::fig6::run(scale);
+    mnemosyne_bench::exp::fig7::run(scale);
+    mnemosyne_bench::exp::microcosts::run(scale);
+    mnemosyne_bench::exp::reincarnation::run(scale);
+}

@@ -1,0 +1,7 @@
+//! Regenerates microcosts of the Mnemosyne paper. Pass --full (or set
+//! REPRO_SCALE=full) for paper-sized runs.
+
+fn main() {
+    let scale = mnemosyne_bench::Scale::from_env();
+    mnemosyne_bench::exp::microcosts::run(scale);
+}

@@ -1,0 +1,43 @@
+//! Figure 4: hashtable write latency, durable transactions vs Berkeley DB.
+
+use mnemosyne::Truncation;
+
+use crate::exp::hashbench::{bdb_hash, fresh_mtm_cell, mtm_hash};
+use crate::util::{banner, Scale, TestRig};
+
+/// Value sizes swept by Figures 4, 5 and 7.
+pub const SIZES: [usize; 6] = [8, 64, 256, 1024, 2048, 4096];
+
+/// Thread counts swept by Figures 4 and 5.
+pub const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Paper's qualitative expectations, printed alongside.
+const PAPER_NOTE: &str = "paper: MTM ~6x lower latency than BDB below 2048 B (1 thread); \
+BDB lower at >2048 B; MTM latency roughly flat with threads";
+
+/// Runs and prints Figure 4.
+pub fn run(scale: Scale) {
+    banner("Figure 4: hashtable write latency (us), MTM vs Berkeley DB", scale);
+    println!("{PAPER_NOTE}");
+    let inserts = scale.pick(300, 3000);
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "value size", "BDB-1T", "BDB-2T", "BDB-4T", "MTM-1T", "MTM-2T", "MTM-4T"
+    );
+    for &size in &SIZES {
+        let mut row = format!("{:<12}", size);
+        for &t in &THREADS {
+            let rig = TestRig::new();
+            let store = rig.bdb(1 << 15, 150);
+            let r = bdb_hash(&store, t, size, inserts);
+            row += &format!(" {:>10.1}", r.write_latency_us);
+        }
+        for &t in &THREADS {
+            let rig = TestRig::new();
+            let (m, table) = fresh_mtm_cell(&rig, 150, Truncation::Sync);
+            let r = mtm_hash(&m, table, t, size, inserts);
+            row += &format!(" {:>10.1}", r.write_latency_us);
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 5: hashtable update throughput, durable transactions vs
+//! Berkeley DB.
+
+use mnemosyne::Truncation;
+
+use crate::exp::fig4::{SIZES, THREADS};
+use crate::exp::hashbench::{bdb_hash, fresh_mtm_cell, mtm_hash};
+use crate::util::{banner, commas, Scale, TestRig};
+
+const PAPER_NOTE: &str = "paper: MTM 10-14x BDB throughput with 4 threads; MTM scales \
+near-linearly with threads; BDB plateaus beyond 2 (central log buffer)";
+
+/// Runs and prints Figure 5.
+pub fn run(scale: Scale) {
+    banner(
+        "Figure 5: hashtable update throughput (updates/s), MTM vs Berkeley DB",
+        scale,
+    );
+    println!("{PAPER_NOTE}");
+    let inserts = scale.pick(300, 3000);
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "value size", "BDB-1T", "BDB-2T", "BDB-4T", "MTM-1T", "MTM-2T", "MTM-4T"
+    );
+    for &size in &SIZES {
+        let mut row = format!("{:<12}", size);
+        for &t in &THREADS {
+            let rig = TestRig::new();
+            let store = rig.bdb(1 << 15, 150);
+            let r = bdb_hash(&store, t, size, inserts);
+            row += &format!(" {:>12}", commas(r.updates_per_s));
+        }
+        for &t in &THREADS {
+            let rig = TestRig::new();
+            let (m, table) = fresh_mtm_cell(&rig, 150, Truncation::Sync);
+            let r = mtm_hash(&m, table, t, size, inserts);
+            row += &format!(" {:>12}", commas(r.updates_per_s));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 6: asynchronous vs synchronous log truncation under varying
+//! duty cycle.
+//!
+//! §6.3.1: a separate thread truncates the log off the critical path;
+//! with 90% or 50% idle time it keeps up and cuts write latency 7-31%;
+//! at 10% idle the producer outruns it and stalls on log space.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mnemosyne::{Mnemosyne, Truncation};
+use mnemosyne_pds::PHashTable;
+
+use crate::exp::hashbench::fresh_mtm_cell;
+use crate::util::{banner, Scale, TestRig};
+
+/// Idle percentages swept (the paper's 90/50/10).
+pub const IDLE_PCT: [u64; 3] = [90, 50, 10];
+
+/// Value sizes shown.
+pub const SIZES: [usize; 4] = [64, 1024, 2048, 4096];
+
+const PAPER_NOTE: &str = "paper: 7-31% latency reduction at 90/50% idle; at 10% idle the \
+truncation thread falls behind and latency can increase (up to +42% at 4 KB)";
+
+/// Mean insert latency (µs) with the given idle duty cycle.
+fn duty_cycle_latency(
+    m: &Arc<Mnemosyne>,
+    table: PHashTable,
+    value_size: usize,
+    idle_pct: u64,
+    inserts: u64,
+) -> f64 {
+    let mut th = m.register_thread().expect("thread slot");
+    let value = vec![0x5au8; value_size];
+    let mut busy_ns = 0u64;
+    for i in 0..inserts {
+        let t0 = Instant::now();
+        table.put(&mut th, &i.to_le_bytes(), &value).expect("put");
+        let op_ns = t0.elapsed().as_nanos() as u64;
+        busy_ns += op_ns;
+        // Idle so that idle_pct of total time is spent idle:
+        // idle = busy * idle / (100 - idle), paid per op.
+        let idle_ns = op_ns * idle_pct / (100 - idle_pct);
+        let t1 = Instant::now();
+        while (t1.elapsed().as_nanos() as u64) < idle_ns {
+            std::hint::spin_loop();
+        }
+    }
+    busy_ns as f64 / inserts as f64 / 1e3
+}
+
+/// Runs and prints Figure 6: percentage decrease in write latency of
+/// asynchronous over synchronous truncation.
+pub fn run(scale: Scale) {
+    banner(
+        "Figure 6: write-latency decrease of async over sync truncation (%)",
+        scale,
+    );
+    println!("{PAPER_NOTE}");
+    let inserts = scale.pick(200, 2000);
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "value size", "90% idle", "50% idle", "10% idle"
+    );
+    for &size in &SIZES {
+        let mut row = format!("{:<12}", size);
+        for &idle in &IDLE_PCT {
+            let rig = TestRig::new();
+            let (m_sync, t_sync) = fresh_mtm_cell(&rig, 150, Truncation::Sync);
+            let sync_us = duty_cycle_latency(&m_sync, t_sync, size, idle, inserts);
+            drop(m_sync);
+            let rig2 = TestRig::new();
+            let (m_async, t_async) = fresh_mtm_cell(&rig2, 150, Truncation::Async);
+            let async_us = duty_cycle_latency(&m_async, t_async, size, idle, inserts);
+            m_async.mtm().kill();
+            let decrease = (sync_us - async_us) / sync_us * 100.0;
+            row += &format!(" {:>9.1}%", decrease);
+        }
+        println!("{row}");
+    }
+}

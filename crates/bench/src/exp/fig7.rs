@@ -1,0 +1,41 @@
+//! Figure 7: sensitivity to SCM write latency (150 / 1000 / 2000 ns).
+
+use mnemosyne::Truncation;
+
+use crate::exp::fig4::SIZES;
+use crate::exp::hashbench::{bdb_hash, fresh_mtm_cell, mtm_hash};
+use crate::util::{banner, Scale, TestRig};
+
+/// The §6.4 latency sweep.
+pub const LATENCIES: [u64; 3] = [150, 1000, 2000];
+
+const PAPER_NOTE: &str = "paper: MTM always wins at small sizes; its advantage shrinks as \
+latency grows (at 2000 ns, parity around 1024 B inserts)";
+
+/// Runs and prints Figure 7: single-thread write latency of MTM relative
+/// to Berkeley DB (ratio > 1 means Mnemosyne is faster).
+pub fn run(scale: Scale) {
+    banner(
+        "Figure 7: BDB/MTM write-latency ratio vs SCM latency (ratio > 1 = MTM faster)",
+        scale,
+    );
+    println!("{PAPER_NOTE}");
+    let inserts = scale.pick(300, 3000);
+    println!(
+        "{:<12} {:>12} {:>12} {:>12}",
+        "value size", "150 ns", "1000 ns", "2000 ns"
+    );
+    for &size in &SIZES {
+        let mut row = format!("{:<12}", size);
+        for &lat in &LATENCIES {
+            let rig = TestRig::new();
+            let store = rig.bdb(1 << 15, lat);
+            let bdb = bdb_hash(&store, 1, size, inserts);
+            let rig2 = TestRig::new();
+            let (m, table) = fresh_mtm_cell(&rig2, lat, Truncation::Sync);
+            let mtm = mtm_hash(&m, table, 1, size, inserts);
+            row += &format!(" {:>11.2}x", bdb.write_latency_us / mtm.write_latency_us);
+        }
+        println!("{row}");
+    }
+}

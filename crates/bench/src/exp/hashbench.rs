@@ -1,0 +1,127 @@
+//! Shared hashtable workload for Figures 4, 5, 6 and 7.
+//!
+//! §6.3: a simple hash table persisted with Mnemosyne transactions,
+//! compared against Berkeley DB's hash table on PCM-disk; "deletes are
+//! introduced at the same rate as writes to ensure steady progress;
+//! update throughput is aggregate throughput of writes and deletes".
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bdbstore::BdbStore;
+use mnemosyne::{Mnemosyne, Truncation};
+use mnemosyne_pds::PHashTable;
+
+use crate::util::TestRig;
+
+/// Live keys retained per thread before deletes start.
+const WINDOW: u64 = 32;
+
+/// Result of one workload cell.
+#[derive(Debug, Clone, Copy)]
+pub struct HashResult {
+    /// Mean insert (write) latency in microseconds.
+    pub write_latency_us: f64,
+    /// Aggregate updates (inserts + deletes) per second.
+    pub updates_per_s: f64,
+}
+
+fn run_workers<W, F>(threads: usize, make: W) -> HashResult
+where
+    W: Fn(usize) -> F,
+    F: FnOnce() -> (u64, u64, u64) + Send + 'static,
+{
+    let start = Instant::now();
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        joins.push(std::thread::spawn(make(t)));
+    }
+    let (mut ops, mut ins_ns, mut inserts) = (0u64, 0u64, 0u64);
+    for j in joins {
+        let (o, n, i) = j.join().unwrap();
+        ops += o;
+        ins_ns += n;
+        inserts += i;
+    }
+    HashResult {
+        write_latency_us: ins_ns as f64 / inserts.max(1) as f64 / 1e3,
+        updates_per_s: ops as f64 / start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Mnemosyne-transactions hashtable cell.
+pub fn mtm_hash(
+    m: &Arc<Mnemosyne>,
+    table: PHashTable,
+    threads: usize,
+    value_size: usize,
+    inserts_per_thread: u64,
+) -> HashResult {
+    run_workers(threads, |t| {
+        let m = Arc::clone(m);
+        move || {
+            let mut th = m.register_thread().expect("thread slot");
+            let value = vec![0xabu8; value_size];
+            let (mut ops, mut ins_ns, mut inserts) = (0u64, 0u64, 0u64);
+            for i in 0..inserts_per_thread {
+                let key = ((t as u64) << 40 | i).to_le_bytes();
+                let t0 = Instant::now();
+                table.put(&mut th, &key, &value).expect("put");
+                ins_ns += t0.elapsed().as_nanos() as u64;
+                inserts += 1;
+                ops += 1;
+                if i >= WINDOW {
+                    let old = ((t as u64) << 40 | (i - WINDOW)).to_le_bytes();
+                    table.remove(&mut th, &old).expect("remove");
+                    ops += 1;
+                }
+            }
+            (ops, ins_ns, inserts)
+        }
+    })
+}
+
+/// Berkeley-DB hashtable cell.
+pub fn bdb_hash(
+    store: &Arc<BdbStore>,
+    threads: usize,
+    value_size: usize,
+    inserts_per_thread: u64,
+) -> HashResult {
+    run_workers(threads, |t| {
+        let store = Arc::clone(store);
+        move || {
+            let value = vec![0xabu8; value_size];
+            let (mut ops, mut ins_ns, mut inserts) = (0u64, 0u64, 0u64);
+            for i in 0..inserts_per_thread {
+                let key = ((t as u64) << 40 | i).to_le_bytes();
+                let t0 = Instant::now();
+                store.put(&key, &value).expect("put");
+                ins_ns += t0.elapsed().as_nanos() as u64;
+                inserts += 1;
+                ops += 1;
+                if i >= WINDOW {
+                    let old = ((t as u64) << 40 | (i - WINDOW)).to_le_bytes();
+                    store.delete(&old).expect("delete");
+                    ops += 1;
+                }
+            }
+            (ops, ins_ns, inserts)
+        }
+    })
+}
+
+/// Builds a fresh Mnemosyne rig + table for one cell (a fresh stack per
+/// cell keeps cells independent, like separate benchmark runs).
+pub fn fresh_mtm_cell(
+    rig: &TestRig,
+    latency_ns: u64,
+    truncation: Truncation,
+) -> (Arc<Mnemosyne>, PHashTable) {
+    let m = rig.mnemosyne(96, latency_ns, truncation);
+    let table = {
+        let mut th = m.register_thread().unwrap();
+        PHashTable::open(&m, &mut th, "bench-hash", 4096).unwrap()
+    };
+    (m, table)
+}

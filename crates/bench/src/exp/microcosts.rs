@@ -1,0 +1,75 @@
+//! §6.3 micro-costs: per-word logging cost and per-cache-line commit cost.
+//!
+//! The paper measures "the cost of instrumenting and logging each word
+//! written as 190 ns when the transaction's write set is smaller than 128
+//! cache lines" and "the cost of committing a transaction … up to 250 ns
+//! per distinct cache line flushed". We isolate the same two slopes by
+//! varying the write-set size along each dimension.
+
+use mnemosyne::Truncation;
+
+use crate::util::{banner, Scale, TestRig};
+
+const PAPER_NOTE: &str = "paper: ~190 ns/word logged (write sets < 128 lines); commit adds \
+up to ~250 ns per distinct cache line flushed; a 64 B hashtable insert (~15 updates, 5 lines) \
+totals ~4.3 us";
+
+/// Mean transaction latency (ns) writing `words` words spread over
+/// `lines` distinct cache lines.
+fn tx_latency_ns(
+    m: &std::sync::Arc<mnemosyne::Mnemosyne>,
+    base: mnemosyne::VAddr,
+    words: u64,
+    lines: u64,
+    iters: u64,
+) -> f64 {
+    let mut th = m.register_thread().expect("thread");
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        th.atomic(|tx| {
+            for w in 0..words {
+                // Spread writes over `lines` cache lines.
+                let line = w % lines;
+                let slot = w / lines;
+                tx.write_u64(base.add(line * 64 + (slot % 8) * 8), w)?;
+            }
+            Ok(())
+        })
+        .expect("tx");
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Runs and prints the micro-cost measurements.
+pub fn run(scale: Scale) {
+    banner("§6.3 micro-costs: per-word logging and per-line commit", scale);
+    println!("{PAPER_NOTE}");
+    let iters = scale.pick(200, 2000);
+    let rig = TestRig::new();
+    let m = rig.mnemosyne(96, 150, Truncation::Sync);
+    let pmem = m.pmem_handle();
+    let base = m
+        .regions()
+        .pmap("micro", 64 * 1024, &pmem)
+        .expect("area")
+        .addr;
+
+    // Per-word slope: writes within ONE cache line (commit cost constant).
+    let one = tx_latency_ns(&m, base, 1, 1, iters);
+    let eight = tx_latency_ns(&m, base, 8, 1, iters);
+    let per_word = (eight - one) / 7.0;
+    println!("\nper-word instrumentation+logging cost: {per_word:.0} ns/word (paper ~190 ns)");
+
+    // Per-line slope: one word per line, varying lines.
+    let l4 = tx_latency_ns(&m, base, 4, 4, iters);
+    let l64 = tx_latency_ns(&m, base, 64, 64, iters);
+    let per_line = (l64 - l4) / 60.0;
+    println!("per-cache-line commit cost:            {per_line:.0} ns/line (paper ~250 ns)");
+
+    println!("\ntransaction latency by write-set shape (ns):");
+    println!("{:<26} {:>12}", "shape", "latency");
+    for (words, lines) in [(1u64, 1u64), (8, 1), (15, 5), (64, 8), (128, 64), (512, 64)] {
+        let ns = tx_latency_ns(&m, base, words, lines, iters);
+        println!("{:<26} {:>12.0}", format!("{words} words / {lines} lines"), ns);
+    }
+}

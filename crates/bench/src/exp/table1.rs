@@ -1,0 +1,56 @@
+//! Table 1: access latency and endurance of memory technologies.
+//!
+//! Not an experiment — the table documents the technology parameters the
+//! emulator is configured from. Printing it from the [`TechPreset`] data
+//! keeps the configuration and the paper's table verifiably in sync.
+
+use mnemosyne::TechPreset;
+
+use crate::util::{banner, Scale};
+
+/// Prints Table 1.
+pub fn run(scale: Scale) {
+    banner("Table 1: memory technology latency and endurance", scale);
+    println!(
+        "{:<18} {:>14} {:>18} {:>14} {:>6}",
+        "technology", "read", "write", "endurance", "era"
+    );
+    for preset in TechPreset::all() {
+        let s = preset.spec();
+        let fmt_range = |(lo, hi): (u64, u64)| {
+            if lo == hi {
+                format_ns(lo)
+            } else {
+                format!("{}-{}", format_ns(lo), format_ns(hi))
+            }
+        };
+        let fmt_end = |(lo, hi): (f64, f64)| {
+            if lo == hi {
+                format!("1e{}", lo.log10().round() as i64)
+            } else {
+                format!("1e{}-1e{}", lo.log10().round() as i64, hi.log10().round() as i64)
+            }
+        };
+        println!(
+            "{:<18} {:>14} {:>18} {:>14} {:>6}",
+            s.name,
+            fmt_range(s.read_ns),
+            fmt_range(s.write_ns),
+            fmt_end(s.endurance),
+            if s.prospective { "proj." } else { "today" }
+        );
+    }
+    println!(
+        "\nemulator default: PCM prototype, 150 ns extra write latency, 4 GB/s streaming"
+    );
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{} ms", ns / 1_000_000)
+    } else if ns >= 1_000 {
+        format!("{} us", ns / 1_000)
+    } else {
+        format!("{ns} ns")
+    }
+}

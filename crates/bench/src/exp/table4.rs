@@ -1,0 +1,114 @@
+//! Table 4: update throughput of the converted applications.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mnemosyne::Truncation;
+use mnemosyne_apps::ldap::{BackBdb, BackLdbm, BackMnemosyne, Backend, Workload};
+use mnemosyne_apps::tokyo::{KvStore, MnemosyneTokyo, MsyncTokyo};
+
+use crate::util::{banner, commas, Scale, TestRig};
+
+const PAPER_NOTE: &str = "paper (updates/s): OpenLDAP back-bdb 5,428 / back-ldbm 6,024 / \
+back-mnemosyne 7,350 (close: PCM write time is a small share of request time); Tokyo Cabinet \
+msync 19,382 (64B) / 2,044 (1024B) vs Mnemosyne 42,057 / 30,361 (2-15x)";
+
+fn ldap_throughput(backend: &dyn Backend, threads: usize, entries_per_thread: u64) -> f64 {
+    let w = Workload::default();
+    let start = Instant::now();
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let mut session = backend.session();
+        let w = w.clone();
+        joins.push(std::thread::spawn(move || {
+            for i in 0..entries_per_thread {
+                session
+                    .add(&w.entry((t as u64) * 10_000_000 + i))
+                    .expect("ldap add");
+            }
+            entries_per_thread
+        }));
+    }
+    let total: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+fn tokyo_throughput(store: &mut dyn KvStore, value_size: usize, inserts: u64) -> f64 {
+    let value = vec![0x33u8; value_size];
+    let window = 64u64;
+    let start = Instant::now();
+    let mut ops = 0u64;
+    for i in 0..inserts {
+        store.insert(i, &value).expect("insert");
+        ops += 1;
+        if i >= window {
+            store.delete(i - window).expect("delete");
+            ops += 1;
+        }
+    }
+    ops as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Runs and prints Table 4.
+pub fn run(scale: Scale) {
+    banner("Table 4: OpenLDAP and Tokyo Cabinet update throughput", scale);
+    println!("{PAPER_NOTE}");
+    let threads = scale.pick(4, 16) as usize;
+    let per_thread = scale.pick(400, 6_250);
+    println!(
+        "\nOpenLDAP SLAMD-like add workload, {threads} threads x {per_thread} entries:"
+    );
+    println!("{:<22} {:>14}", "backend", "updates/s");
+
+    {
+        let rig = TestRig::new();
+        let backend = BackBdb::open(rig.pcmdisk_fs(1 << 16, 150)).expect("back-bdb");
+        println!(
+            "{:<22} {:>14}",
+            backend.name(),
+            commas(ldap_throughput(&backend, threads, per_thread))
+        );
+    }
+    {
+        let rig = TestRig::new();
+        let backend = BackLdbm::open(rig.pcmdisk_fs(1 << 16, 150), 1000).expect("back-ldbm");
+        println!(
+            "{:<22} {:>14}",
+            backend.name(),
+            commas(ldap_throughput(&backend, threads, per_thread))
+        );
+    }
+    {
+        let rig = TestRig::new();
+        let m = rig.mnemosyne(192, 150, Truncation::Sync);
+        let backend = BackMnemosyne::open(Arc::clone(&m)).expect("back-mnemosyne");
+        println!(
+            "{:<22} {:>14}",
+            backend.name(),
+            commas(ldap_throughput(&backend, threads, per_thread))
+        );
+    }
+
+    let inserts = scale.pick(500, 10_000);
+    println!("\nTokyo Cabinet insert/delete queries, single thread x {inserts} inserts:");
+    println!("{:<28} {:>14}", "configuration", "updates/s");
+    for &size in &[64usize, 1024] {
+        let rig = TestRig::new();
+        let mut msync = MsyncTokyo::open(rig.pcmdisk_fs(1 << 16, 150), "tc", size).expect("msync");
+        println!(
+            "{:<28} {:>14}",
+            format!("msync on PCM-disk, {size} B"),
+            commas(tokyo_throughput(&mut msync, size, inserts))
+        );
+    }
+    for &size in &[64usize, 1024] {
+        let rig = TestRig::new();
+        let m = rig.mnemosyne(192, 150, Truncation::Sync);
+        let mut tc = MnemosyneTokyo::open(&m, "tc").expect("mnemosyne tokyo");
+        println!(
+            "{:<28} {:>14}",
+            format!("Mnemosyne, {size} B"),
+            commas(tokyo_throughput(&mut tc, size, inserts))
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Table 5: red-black tree updates vs Boost-style serialization.
+
+use mnemosyne::Truncation;
+use mnemosyne_pds::rbtree::PRbTree;
+use mnemosyne_pds::serial::VolatileTree;
+
+use crate::util::{banner, commas, Scale, TestRig};
+
+const PAPER_NOTE: &str = "paper: inserts 4.7-5.8 us; serialising 1K/8K/64K/256K nodes costs \
+517 us / 3.4 ms / 34 ms / 144 ms — 189 to 24,788 inserts per serialization";
+
+/// Runs and prints Table 5.
+pub fn run(scale: Scale) {
+    banner(
+        "Table 5: Mnemosyne red-black-tree inserts vs Boost-style serialization",
+        scale,
+    );
+    println!("{PAPER_NOTE}");
+    let sizes: &[u64] = match scale {
+        Scale::Quick => &[1_000, 8_000],
+        Scale::Full => &[1_000, 8_000, 64_000, 256_000],
+    };
+    println!(
+        "{:<10} {:>14} {:>16} {:>18}",
+        "tree size", "insert (us)", "serialize (us)", "inserts/serialize"
+    );
+    for &size in sizes {
+        // Persistent tree: measure insert latency at this tree size.
+        let rig = TestRig::new();
+        let m = rig.mnemosyne(192, 150, Truncation::Sync);
+        let tree = PRbTree::open(&m, "t5").expect("open tree");
+        let mut th = m.register_thread().expect("thread");
+        let payload = [0x42u8; 88];
+        let warm = size.saturating_sub(1000);
+        for i in 0..warm {
+            tree.insert(&mut th, i, &payload).expect("insert");
+        }
+        let t0 = std::time::Instant::now();
+        for i in warm..size {
+            tree.insert(&mut th, i, &payload).expect("insert");
+        }
+        let insert_us = t0.elapsed().as_secs_f64() * 1e6 / (size - warm) as f64;
+        drop(th);
+        drop(m);
+
+        // Volatile tree + archive to PCM-disk.
+        let fs = rig.pcmdisk_fs((size * 192 / 4096 + 4096).next_power_of_two(), 150);
+        let mut vt = VolatileTree::new();
+        for i in 0..size {
+            vt.insert(i, payload.to_vec());
+        }
+        let t0 = std::time::Instant::now();
+        vt.archive(&fs, "tree.arc").expect("archive");
+        let ser_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        println!(
+            "{:<10} {:>14.1} {:>16.0} {:>18}",
+            commas(size as f64),
+            insert_us,
+            ser_us,
+            commas(ser_us / insert_us)
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Table 6: throughput of the base (commit-record) and tornbit RAWLs.
+
+use mnemosyne::{CommitRecordLog, ScmConfig, TornbitLog};
+use mnemosyne_region::{RegionManager, Regions};
+use mnemosyne_scm::{EmulationMode, ScmSim};
+
+use crate::util::{banner, Scale, TestRig};
+
+/// Record sizes (bytes) from Table 6.
+pub const RECORD_SIZES: [usize; 6] = [8, 64, 256, 1024, 2048, 4096];
+
+const PAPER_NOTE: &str = "paper (MB/s): base 17/128/416/881/1088/1244, tornbit \
+34/227/591/929/1045/1093 — tornbit up to 2x faster below 2 KB, slower above \
+(bit manipulation scales with data, the saved fence is constant)";
+
+const LOG_WORDS: u64 = 1 << 16;
+
+/// Runs and prints Table 6.
+pub fn run(scale: Scale) {
+    banner("Table 6: base vs tornbit RAWL throughput (MB/s)", scale);
+    println!("{PAPER_NOTE}");
+    let rig = TestRig::new();
+    let mut config = ScmConfig::paper_default(64 << 20);
+    config.mode = EmulationMode::Spin;
+    let sim = ScmSim::new(config);
+    let mgr = RegionManager::boot(&sim, &rig.dir).expect("boot");
+    let (regions, pmem) = Regions::open(&mgr, 1 << 16).expect("regions");
+    let tb_region = regions
+        .pmap("t6-tornbit", 64 + LOG_WORDS * 8, &pmem)
+        .expect("tornbit region");
+    let cl_region = regions
+        .pmap("t6-commit", 64 + LOG_WORDS * 8, &pmem)
+        .expect("commit region");
+
+    let appends = scale.pick(2_000, 20_000);
+    println!(
+        "{:<14} {:>12} {:>12} {:>8}",
+        "record bytes", "base MB/s", "tornbit MB/s", "ratio"
+    );
+    for &size in &RECORD_SIZES {
+        let payload = vec![0x77u64; size / 8];
+
+        let mut clog = CommitRecordLog::create(regions.pmem_handle(), cl_region.addr, LOG_WORDS)
+            .expect("create commit log");
+        let t0 = std::time::Instant::now();
+        for _ in 0..appends {
+            if clog.free_words() < payload.len() as u64 + 2 {
+                clog.truncate_all();
+            }
+            clog.append(&payload).expect("append");
+        }
+        let base_mbs = (appends as f64 * size as f64) / t0.elapsed().as_secs_f64() / 1e6;
+
+        let mut tlog = TornbitLog::create(regions.pmem_handle(), tb_region.addr, LOG_WORDS)
+            .expect("create tornbit log");
+        let t0 = std::time::Instant::now();
+        for _ in 0..appends {
+            if tlog.free_words() < (payload.len() as u64 + 2) * 2 {
+                tlog.truncate_all();
+            }
+            tlog.append(&payload).expect("append");
+            tlog.flush();
+        }
+        let torn_mbs = (appends as f64 * size as f64) / t0.elapsed().as_secs_f64() / 1e6;
+
+        println!(
+            "{:<14} {:>12.0} {:>12.0} {:>7.2}x",
+            size,
+            base_mbs,
+            torn_mbs,
+            torn_mbs / base_mbs
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Shared experiment plumbing: rigs, workloads, timing and printing.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bdbstore::{BdbStore, StoreConfig};
+use mnemosyne::{EmulationMode, Mnemosyne, ScmConfig, Truncation};
+use pcmdisk::{DiskConfig, PcmDisk, SimpleFs};
+
+/// Experiment scale: `Quick` keeps the whole suite under a few minutes;
+/// `Full` approaches the paper's iteration counts. Selected with the
+/// `REPRO_SCALE=full` environment variable or a `--full` argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced iteration counts (CI-friendly).
+    Quick,
+    /// Paper-sized runs.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from `REPRO_SCALE` / argv.
+    pub fn from_env() -> Scale {
+        let arg_full = std::env::args().any(|a| a == "--full");
+        let env_full = std::env::var("REPRO_SCALE").map(|v| v == "full").unwrap_or(false);
+        if arg_full || env_full {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Picks a count by scale.
+    pub fn pick(self, quick: u64, full: u64) -> u64 {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// A disposable experiment rig: fresh temp directory per instantiation,
+/// removed on drop.
+pub struct TestRig {
+    /// Backing-file directory.
+    pub dir: PathBuf,
+}
+
+impl Default for TestRig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TestRig {
+    /// Creates a fresh rig directory.
+    pub fn new() -> TestRig {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "mnemo-bench-{}-{n}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        TestRig { dir }
+    }
+
+    /// Boots a Mnemosyne stack with the paper's §6.1 emulation (spin
+    /// delays, `latency_ns` extra write latency, 4 GB/s).
+    pub fn mnemosyne(&self, scm_mb: u64, latency_ns: u64, truncation: Truncation) -> Arc<Mnemosyne> {
+        let mut config = ScmConfig::paper_default(scm_mb << 20);
+        config.write_latency_ns = latency_ns;
+        config.mode = EmulationMode::Spin;
+        Arc::new(
+            Mnemosyne::builder(&self.dir.join(format!("m{latency_ns}")))
+                .scm_config(config)
+                .heap_sizes(scm_mb.saturating_sub(16).max(8) << 19, scm_mb.max(8) << 19)
+                .max_threads(18)
+                .log_words(1 << 16)
+                .truncation(truncation)
+                .open()
+                .expect("boot mnemosyne rig"),
+        )
+    }
+
+    /// Creates a PCM-disk + SimpleFs with the §6.1 block-device model.
+    pub fn pcmdisk_fs(&self, blocks: u64, latency_ns: u64) -> SimpleFs {
+        let disk = Arc::new(PcmDisk::new(
+            DiskConfig::paper_default(blocks).with_write_latency_ns(latency_ns),
+        ));
+        SimpleFs::format(disk).expect("format pcm-disk")
+    }
+
+    /// Opens a transactional Berkeley-DB-like store on a fresh PCM-disk.
+    pub fn bdb(&self, blocks: u64, latency_ns: u64) -> Arc<BdbStore> {
+        let fs = self.pcmdisk_fs(blocks, latency_ns);
+        Arc::new(BdbStore::open(fs, "bench", StoreConfig::default()).expect("open bdb store"))
+    }
+}
+
+impl Drop for TestRig {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+/// Mean microseconds per call of `f` over `n` calls.
+pub fn time_per_op_us(n: u64, mut f: impl FnMut(u64)) -> f64 {
+    let start = Instant::now();
+    for i in 0..n {
+        f(i);
+    }
+    start.elapsed().as_secs_f64() * 1e6 / n as f64
+}
+
+/// Wall-clock throughput (ops/s) of `total` operations executed by
+/// `threads` workers, each running `make_worker(t)() -> ops_done`.
+pub fn throughput_ops_per_s(
+    threads: usize,
+    make_worker: impl Fn(usize) -> Box<dyn FnOnce() -> u64 + Send>,
+) -> f64 {
+    let start = Instant::now();
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let w = make_worker(t);
+        joins.push(std::thread::spawn(w));
+    }
+    let total: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Prints an experiment banner.
+pub fn banner(title: &str, scale: Scale) {
+    println!();
+    println!("=== {title} [{:?} scale] ===", scale);
+}
+
+/// Formats a number with thousands separators.
+pub fn commas(v: f64) -> String {
+    let n = v.round() as i64;
+    let s = n.abs().to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    if n < 0 {
+        format!("-{out}")
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(10, 100), 10);
+        assert_eq!(Scale::Full.pick(10, 100), 100);
+    }
+
+    #[test]
+    fn commas_formats() {
+        assert_eq!(commas(1234567.0), "1,234,567");
+        assert_eq!(commas(42.0), "42");
+    }
+
+    #[test]
+    fn rig_cleans_up() {
+        let dir = {
+            let rig = TestRig::new();
+            assert!(rig.dir.exists());
+            rig.dir.clone()
+        };
+        assert!(!dir.exists());
+    }
+}

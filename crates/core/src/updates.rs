@@ -1,0 +1,199 @@
+//! The lighter consistency methods of Table 2: single-variable updates
+//! and shadow updates.
+//!
+//! §3.2 ranks four consistent-update disciplines by flexibility. Durable
+//! transactions (the most general) live in `mnemosyne-mtm`; append
+//! updates in `mnemosyne-rawl`. This module provides first-class helpers
+//! for the remaining two:
+//!
+//! * **single variable update** — [`PCell`]: one atomically-written
+//!   64-bit persistent word ("useful for recording when a program has
+//!   been initialized or for storing statistics such as counters");
+//! * **shadow update** — [`Mnemosyne::shadow_update`]: write a fresh copy
+//!   of the data, fence, then swing one reference atomically ("works
+//!   best for tree-like structures where data is reachable through a
+//!   single pointer, and must allocate new memory for every update").
+
+use mnemosyne_region::{PMem, VAddr};
+
+use crate::{Error, Mnemosyne};
+
+/// A persistent 64-bit cell updated with single atomic writes — the
+/// cheapest consistency method of Table 2 (zero ordering constraints;
+/// totally ordered with respect to other single-variable updates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PCell {
+    addr: VAddr,
+}
+
+impl PCell {
+    /// Wraps an existing word-aligned persistent address (e.g. from
+    /// [`Mnemosyne::pstatic`]).
+    ///
+    /// # Panics
+    /// Panics if `addr` is not a word-aligned persistent address.
+    pub fn at(addr: VAddr) -> PCell {
+        assert!(addr.is_persistent() && addr.is_word_aligned());
+        PCell { addr }
+    }
+
+    /// The cell's address.
+    pub fn addr(&self) -> VAddr {
+        self.addr
+    }
+
+    /// Reads the cell.
+    pub fn get(&self, pmem: &PMem) -> u64 {
+        pmem.read_u64(self.addr)
+    }
+
+    /// Durably writes the cell: one atomic streaming store plus one fence.
+    pub fn set(&self, pmem: &PMem, value: u64) {
+        pmem.wtstore_u64(self.addr, value);
+        pmem.fence();
+    }
+
+    /// Durable read-modify-write (NOT atomic against concurrent writers —
+    /// single-variable updates order writes, they do not arbitrate them;
+    /// use a transaction for shared counters).
+    pub fn update(&self, pmem: &PMem, f: impl FnOnce(u64) -> u64) -> u64 {
+        let v = f(self.get(pmem));
+        self.set(pmem, v);
+        v
+    }
+}
+
+impl Mnemosyne {
+    /// Binds a named persistent [`PCell`].
+    ///
+    /// # Errors
+    /// As [`Mnemosyne::pstatic`].
+    pub fn pcell(&self, name: &str) -> Result<PCell, Error> {
+        Ok(PCell::at(self.pstatic(name, 8)?))
+    }
+
+    /// Performs a **shadow update** of the object referenced by the
+    /// persistent pointer cell `ptr_cell` (Table 2 method 3):
+    ///
+    /// 1. allocate a fresh block of `size` bytes;
+    /// 2. let `init` write the new contents through the given [`PMem`];
+    /// 3. flush the new data and fence (the one ordering constraint);
+    /// 4. atomically swing `ptr_cell` to the new block (durable single
+    ///    word);
+    /// 5. free the old block, if any.
+    ///
+    /// Returns the new block's address. A crash before step 4 leaves the
+    /// old object intact (the new block is reclaimed as garbage — §3.2:
+    /// "after a failure, a program must find and release unreferenced new
+    /// data"; our heap-logged allocation bounds that garbage to one
+    /// block). A crash after step 4 leaves the new object installed.
+    ///
+    /// # Errors
+    /// Propagates allocation failures.
+    pub fn shadow_update(
+        &self,
+        ptr_cell: VAddr,
+        size: u64,
+        init: impl FnOnce(&PMem, VAddr),
+    ) -> Result<VAddr, Error> {
+        let pmem = self.pmem_handle();
+        let heap = self.heap();
+        let old = VAddr(pmem.read_u64(ptr_cell));
+        let fresh = heap.pmalloc_unanchored(size)?;
+        init(&pmem, fresh);
+        pmem.flush_range(fresh, size);
+        pmem.fence(); // new data stable before the reference moves
+        pmem.wtstore_u64(ptr_cell, fresh.0);
+        pmem.fence();
+        if !old.is_null() {
+            heap.pfree_addr(old)?;
+        }
+        Ok(fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CrashPolicy;
+    use std::path::PathBuf;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "mnemo-upd-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn pcell_survives_crash() {
+        let d = dir("cell");
+        let m = Mnemosyne::builder(&d).scm_size(32 << 20).open().unwrap();
+        let c = m.pcell("counter").unwrap();
+        let pmem = m.pmem_handle();
+        assert_eq!(c.get(&pmem), 0);
+        c.set(&pmem, 41);
+        c.update(&pmem, |v| v + 1);
+        drop(pmem);
+        let m2 = m.crash_reboot(CrashPolicy::DropAll).unwrap();
+        let c2 = m2.pcell("counter").unwrap();
+        assert_eq!(c2.get(&m2.pmem_handle()), 42);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn shadow_update_replaces_and_frees() {
+        let d = dir("shadow");
+        let m = Mnemosyne::builder(&d).scm_size(32 << 20).open().unwrap();
+        let cell = m.pstatic("doc", 8).unwrap();
+        let v1 = m
+            .shadow_update(cell, 64, |pmem, a| pmem.store(a, b"version one"))
+            .unwrap();
+        let v2 = m
+            .shadow_update(cell, 64, |pmem, a| pmem.store(a, b"version two"))
+            .unwrap();
+        assert_ne!(v1, v2);
+        let pmem = m.pmem_handle();
+        assert_eq!(pmem.read_u64(cell), v2.0);
+        let mut buf = [0u8; 11];
+        pmem.read(v2, &mut buf);
+        assert_eq!(&buf, b"version two");
+        // The old version was freed and its space is reusable.
+        assert_eq!(m.heap().usable_size(v1), None);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn shadow_update_is_crash_atomic() {
+        let d = dir("shadow-crash");
+        let m = Mnemosyne::builder(&d).scm_size(32 << 20).open().unwrap();
+        let cell = m.pstatic("doc", 8).unwrap();
+        m.shadow_update(cell, 256, |pmem, a| pmem.store(a, &[1u8; 256]))
+            .unwrap();
+        m.shadow_update(cell, 256, |pmem, a| pmem.store(a, &[2u8; 256]))
+            .unwrap();
+        // Crash adversarially: the reference must point at a fully
+        // written version (the fence ordered data before pointer).
+        let m2 = m.crash_reboot(CrashPolicy::random(9)).unwrap();
+        let cell = m2.pstatic("doc", 8).unwrap();
+        let pmem = m2.pmem_handle();
+        let target = VAddr(pmem.read_u64(cell));
+        assert!(!target.is_null());
+        let mut buf = [0u8; 256];
+        pmem.read(target, &mut buf);
+        assert!(
+            buf == [1u8; 256] || buf == [2u8; 256],
+            "shadow update exposed a torn object"
+        );
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    #[should_panic]
+    fn pcell_rejects_volatile_address() {
+        PCell::at(VAddr(42));
+    }
+}

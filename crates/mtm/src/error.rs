@@ -1,0 +1,100 @@
+//! Transaction error types.
+
+use std::fmt;
+
+use mnemosyne_pheap::HeapError;
+use mnemosyne_rawl::LogError;
+use mnemosyne_region::RegionError;
+
+/// Why a transaction attempt could not proceed. Returned by [`crate::Tx`]
+/// accessors; propagate it with `?` — the retry loop in
+/// [`crate::TxThread::atomic`] handles conflicts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxAbort {
+    /// Lost a conflict (lock held by another transaction or a version
+    /// moved). The runtime retries the transaction.
+    Conflict,
+    /// The program explicitly cancelled the transaction; no retry.
+    Cancelled,
+    /// A heap operation inside the transaction failed; no retry.
+    Heap(String),
+}
+
+impl fmt::Display for TxAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxAbort::Conflict => write!(f, "transaction conflict"),
+            TxAbort::Cancelled => write!(f, "transaction cancelled"),
+            TxAbort::Heap(e) => write!(f, "heap failure in transaction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxAbort {}
+
+impl From<HeapError> for TxAbort {
+    fn from(e: HeapError) -> Self {
+        TxAbort::Heap(e.to_string())
+    }
+}
+
+/// Errors surfaced by the transaction runtime itself.
+#[derive(Debug)]
+pub enum TxError {
+    /// The program cancelled the transaction via [`crate::Tx::cancel`].
+    Cancelled,
+    /// A heap operation inside the transaction failed.
+    Heap(String),
+    /// Setting up logs/regions failed.
+    Region(RegionError),
+    /// The per-thread redo log failed (e.g. a single transaction larger
+    /// than the whole log).
+    Log(LogError),
+    /// All transaction-thread slots are in use.
+    NoThreadSlots,
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::Cancelled => write!(f, "transaction cancelled"),
+            TxError::Heap(e) => write!(f, "heap failure in transaction: {e}"),
+            TxError::Region(e) => write!(f, "region error: {e}"),
+            TxError::Log(e) => write!(f, "redo log error: {e}"),
+            TxError::NoThreadSlots => write!(f, "no free transaction-thread slots"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TxError::Region(e) => Some(e),
+            TxError::Log(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RegionError> for TxError {
+    fn from(e: RegionError) -> Self {
+        TxError::Region(e)
+    }
+}
+
+impl From<LogError> for TxError {
+    fn from(e: LogError) -> Self {
+        TxError::Log(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(TxAbort::Conflict.to_string(), "transaction conflict");
+        assert_eq!(TxError::NoThreadSlots.to_string(), "no free transaction-thread slots");
+    }
+}

@@ -1,0 +1,531 @@
+//! The transaction runtime: per-thread redo logs, commit/abort, recovery,
+//! and synchronous or asynchronous log truncation (§5).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Mutex, RwLock};
+
+use mnemosyne_pheap::PHeap;
+use mnemosyne_rawl::{LogError, LogTruncator, TornbitLog, LOG_HEADER_BYTES};
+use mnemosyne_region::{PMem, Regions, VAddr};
+
+use crate::error::{TxAbort, TxError};
+use crate::gclock::GlobalClock;
+use crate::locks::LockTable;
+use crate::tx::Tx;
+
+/// When the redo log of a committed transaction is truncated (§5
+/// "Transaction log").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Truncation {
+    /// Commit flushes every modified cache line and truncates immediately:
+    /// bounded log, longer commit latency.
+    #[default]
+    Sync,
+    /// A log-manager thread drains logs off the critical path: shorter
+    /// commits, but threads stall when the log fills faster than the
+    /// manager drains it (Figure 6 measures both regimes).
+    Async,
+}
+
+/// Configuration for [`MtmRuntime::open`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MtmConfig {
+    /// Maximum concurrently registered transaction threads (one redo log
+    /// each).
+    pub max_threads: usize,
+    /// Capacity of each per-thread redo log, in words.
+    pub log_words: u64,
+    /// Slots in the global versioned-lock table.
+    pub lock_table_size: usize,
+    /// Truncation regime.
+    pub truncation: Truncation,
+    /// Region-name prefix for the logs.
+    pub name_prefix: String,
+}
+
+impl Default for MtmConfig {
+    fn default() -> Self {
+        MtmConfig {
+            max_threads: 8,
+            log_words: 1 << 15,
+            lock_table_size: 1 << 20,
+            truncation: Truncation::Sync,
+            name_prefix: "mtm".to_string(),
+        }
+    }
+}
+
+impl MtmConfig {
+    /// Overrides the truncation regime.
+    pub fn with_truncation(mut self, t: Truncation) -> Self {
+        self.truncation = t;
+        self
+    }
+
+    /// Overrides the thread-slot count.
+    pub fn with_max_threads(mut self, n: usize) -> Self {
+        self.max_threads = n;
+        self
+    }
+}
+
+/// Counters describing runtime activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MtmStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted attempts (conflicts).
+    pub aborts: u64,
+    /// Transactions replayed from the logs at the last open.
+    pub replayed: u64,
+}
+
+struct ManagerHandle {
+    stop: Arc<AtomicBool>,
+    /// When set, the manager exits without its final drain sweep — used by
+    /// [`MtmRuntime::kill`] to model abrupt process death in crash tests.
+    hard: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// The durable-transaction runtime. Create once per process with
+/// [`MtmRuntime::open`]; hand each worker a [`TxThread`] via
+/// [`MtmRuntime::register_thread`].
+pub struct MtmRuntime {
+    clock: GlobalClock,
+    locks: LockTable,
+    regions: Arc<Regions>,
+    heap: RwLock<Option<Arc<PHeap>>>,
+    slots: Mutex<Vec<Option<TornbitLog>>>,
+    truncation: Truncation,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    replayed: AtomicU64,
+    manager: Mutex<Option<ManagerHandle>>,
+}
+
+impl std::fmt::Debug for MtmRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MtmRuntime")
+            .field("truncation", &self.truncation)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl MtmRuntime {
+    /// Opens the runtime: maps (or creates) one redo-log region per thread
+    /// slot, **replays** committed-but-unflushed transactions from all
+    /// logs in global-timestamp order, truncates the logs, and (in async
+    /// mode) starts the log-manager thread.
+    ///
+    /// # Errors
+    /// Fails on region exhaustion or corrupt logs.
+    pub fn open(regions: &Arc<Regions>, config: MtmConfig) -> Result<Arc<MtmRuntime>, TxError> {
+        let pmem = regions.pmem_handle();
+        let mut logs = Vec::with_capacity(config.max_threads);
+        let mut pending: Vec<(u64, Vec<(VAddr, u64)>)> = Vec::new();
+        for i in 0..config.max_threads {
+            let name = format!("{}.log{}", config.name_prefix, i);
+            let r = regions.pmap(&name, LOG_HEADER_BYTES + config.log_words * 8, &pmem)?;
+            let log_pmem = regions.pmem_handle();
+            let log = if TornbitLog::exists(&log_pmem, r.addr) {
+                let (log, records) = TornbitLog::recover(log_pmem, r.addr)?;
+                for rec in records {
+                    if rec.is_empty() || rec.len() % 2 == 0 {
+                        continue; // malformed; redo records are [ts, (addr,val)*]
+                    }
+                    let ts = rec[0];
+                    let writes = rec[1..]
+                        .chunks_exact(2)
+                        .map(|c| (VAddr(c[0]), c[1]))
+                        .collect();
+                    pending.push((ts, writes));
+                }
+                log
+            } else {
+                TornbitLog::create(log_pmem, r.addr, config.log_words)?
+            };
+            logs.push(log);
+        }
+
+        // Replay committed transactions in timestamp order (§5 recovery).
+        pending.sort_by_key(|&(ts, _)| ts);
+        let replayed = pending.len() as u64;
+        for (_, writes) in &pending {
+            for &(addr, val) in writes {
+                pmem.store_u64(addr, val);
+            }
+            for &(addr, _) in writes {
+                pmem.flush(addr);
+            }
+        }
+        if replayed > 0 {
+            pmem.fence();
+        }
+        for log in &mut logs {
+            log.truncate_all();
+        }
+
+        let rt = Arc::new(MtmRuntime {
+            clock: GlobalClock::new(),
+            locks: LockTable::new(config.lock_table_size),
+            regions: Arc::clone(regions),
+            heap: RwLock::new(None),
+            truncation: config.truncation,
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            replayed: AtomicU64::new(replayed),
+            manager: Mutex::new(None),
+            slots: Mutex::new(Vec::new()),
+        });
+
+        // In async mode the manager thread needs truncators before the
+        // logs move into the slot pool.
+        if config.truncation == Truncation::Async {
+            let truncators: Vec<LogTruncator> = logs
+                .iter()
+                .map(|log| log.truncator(regions.pmem_handle()))
+                .collect();
+            let stop = Arc::new(AtomicBool::new(false));
+            let hard = Arc::new(AtomicBool::new(false));
+            let stop2 = Arc::clone(&stop);
+            let hard2 = Arc::clone(&hard);
+            let join = std::thread::Builder::new()
+                .name("mtm-log-manager".into())
+                .spawn(move || log_manager(truncators, stop2, hard2))
+                .expect("spawn log manager");
+            *rt.manager.lock() = Some(ManagerHandle {
+                stop,
+                hard,
+                join: Some(join),
+            });
+        }
+
+        *rt.slots.lock() = logs.into_iter().map(Some).collect();
+        Ok(rt)
+    }
+
+    /// Attaches a persistent heap so transactions can use
+    /// [`Tx::pmalloc`]/[`Tx::pfree`].
+    pub fn attach_heap(&self, heap: Arc<PHeap>) {
+        *self.heap.write() = Some(heap);
+    }
+
+    /// The attached heap, if any.
+    pub fn heap(&self) -> Option<Arc<PHeap>> {
+        self.heap.read().clone()
+    }
+
+    /// Checks out a transaction-thread context (one per worker thread).
+    /// The slot is returned when the [`TxThread`] drops.
+    ///
+    /// # Errors
+    /// [`TxError::NoThreadSlots`] when `max_threads` contexts are live.
+    pub fn register_thread(self: &Arc<Self>) -> Result<TxThread, TxError> {
+        let mut slots = self.slots.lock();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.is_some() {
+                return Ok(TxThread {
+                    rt: Arc::clone(self),
+                    slot: i,
+                    log: slot.take(),
+                    rng: 0x9E37_79B9 ^ (i as u64 + 1),
+                });
+            }
+        }
+        Err(TxError::NoThreadSlots)
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> MtmStats {
+        MtmStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            replayed: self.replayed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The global commit clock.
+    pub fn clock(&self) -> &GlobalClock {
+        &self.clock
+    }
+
+    /// The global versioned-lock table.
+    pub fn locks(&self) -> &LockTable {
+        &self.locks
+    }
+
+    /// The region registry this runtime operates on.
+    pub fn regions(&self) -> &Arc<Regions> {
+        &self.regions
+    }
+
+    /// The configured truncation regime.
+    pub fn truncation(&self) -> Truncation {
+        self.truncation
+    }
+
+    /// Models abrupt process death for crash testing: stops the
+    /// asynchronous log manager *without* its final drain sweep, so the
+    /// runtime stops touching SCM from background threads. Call this
+    /// before injecting a crash with
+    /// [`mnemosyne_scm::ScmSim::crash`]; otherwise the "dead" process's
+    /// manager thread may keep truncating logs after the failure point.
+    pub fn kill(&self) {
+        if let Some(mut m) = self.manager.lock().take() {
+            m.hard.store(true, Ordering::Relaxed);
+            m.stop.store(true, Ordering::Relaxed);
+            if let Some(j) = m.join.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+impl Drop for MtmRuntime {
+    fn drop(&mut self) {
+        if let Some(mut m) = self.manager.lock().take() {
+            m.stop.store(true, Ordering::Relaxed);
+            if let Some(j) = m.join.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+/// The asynchronous log manager: drains every per-thread log, forcing the
+/// values named by each record out to SCM before truncating (§5).
+fn log_manager(truncators: Vec<LogTruncator>, stop: Arc<AtomicBool>, hard: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        let mut drained = 0usize;
+        for t in &truncators {
+            drained += t.drain(|rec| {
+                // rec = [ts, (addr, val)*]; flush each written line.
+                for pair in rec[1..].chunks_exact(2) {
+                    t.pmem().flush(VAddr(pair[0]));
+                }
+            });
+        }
+        if drained == 0 {
+            std::thread::sleep(std::time::Duration::from_micros(20));
+        }
+    }
+    if hard.load(Ordering::Relaxed) {
+        return; // killed: model abrupt process death, no final sweep
+    }
+    // Graceful shutdown: final sweep so nothing is stranded.
+    for t in &truncators {
+        t.drain(|rec| {
+            for pair in rec[1..].chunks_exact(2) {
+                t.pmem().flush(VAddr(pair[0]));
+            }
+        });
+    }
+}
+
+/// A worker thread's transaction context: owns one per-thread redo log.
+pub struct TxThread {
+    rt: Arc<MtmRuntime>,
+    slot: usize,
+    log: Option<TornbitLog>,
+    rng: u64,
+}
+
+impl std::fmt::Debug for TxThread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxThread").field("slot", &self.slot).finish()
+    }
+}
+
+impl Drop for TxThread {
+    fn drop(&mut self) {
+        if let Some(log) = self.log.take() {
+            self.rt.slots.lock()[self.slot] = Some(log);
+        }
+    }
+}
+
+impl TxThread {
+    pub(crate) fn rt(&self) -> &MtmRuntime {
+        &self.rt
+    }
+
+    pub(crate) fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// This thread's persistent-memory handle (shared with its log).
+    pub fn pmem(&self) -> &PMem {
+        self.log.as_ref().expect("log present").pmem()
+    }
+
+    fn log_mut(&mut self) -> &mut TornbitLog {
+        self.log.as_mut().expect("log present")
+    }
+
+    /// Runs `body` as a durable memory transaction — the `atomic { … }`
+    /// block of Table 3. The closure may run several times (conflict
+    /// retry); all persistent access must go through the provided [`Tx`].
+    ///
+    /// # Errors
+    /// [`TxError::Cancelled`] if the closure returned [`Tx::cancel`], or
+    /// [`TxError::Heap`] if a heap operation inside the transaction
+    /// failed. Conflicts are retried internally with randomised backoff.
+    pub fn atomic<T>(
+        &mut self,
+        mut body: impl FnMut(&mut Tx<'_>) -> Result<T, TxAbort>,
+    ) -> Result<T, TxError> {
+        let mut attempt = 0u32;
+        loop {
+            let mut tx = Tx::begin(self);
+            match body(&mut tx) {
+                Ok(value) => match tx.commit() {
+                    Ok(()) => return Ok(value),
+                    Err(TxAbort::Conflict) => {}
+                    Err(TxAbort::Cancelled) => return Err(TxError::Cancelled),
+                    Err(TxAbort::Heap(e)) => return Err(TxError::Heap(e)),
+                },
+                Err(TxAbort::Conflict) => tx.abort(),
+                Err(TxAbort::Cancelled) => {
+                    tx.abort();
+                    return Err(TxError::Cancelled);
+                }
+                Err(TxAbort::Heap(e)) => {
+                    tx.abort();
+                    return Err(TxError::Heap(e));
+                }
+            }
+            // Conflict: randomised exponential backoff.
+            attempt = (attempt + 1).min(10);
+            self.rng = self.rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let spins = self.rng % (1u64 << attempt);
+            for _ in 0..spins {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+impl Tx<'_> {
+    /// Commit: validate reads, take a timestamp, make the redo record
+    /// durable (one fence), write back, truncate per the configured
+    /// regime, release locks.
+    pub(crate) fn commit(mut self) -> Result<(), TxAbort> {
+        if self.write_set.is_empty() && self.allocs.is_empty() && self.frees.is_empty() {
+            // Read-only: reads were validated incrementally.
+            self.release_locks_restoring();
+            self.th.rt().commits.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+
+        // Validate the read set.
+        for &(idx, version) in &self.read_set {
+            match self.th.rt().locks().probe(idx) {
+                crate::locks::LockState::Version(v) if v == version => {}
+                crate::locks::LockState::Owned(s) if s == self.th.slot() => {}
+                _ => {
+                    self.release_locks_restoring();
+                    self.rollback_allocs();
+                    self.th.rt().aborts.fetch_add(1, Ordering::Relaxed);
+                    return Err(TxAbort::Conflict);
+                }
+            }
+        }
+
+        let ts = self.th.rt().clock().tick();
+
+        // Build and persist the redo record: [ts, (addr, val)*].
+        let mut record = Vec::with_capacity(1 + self.write_set.len() * 2);
+        record.push(ts);
+        for (&addr, &val) in &self.write_set {
+            record.push(addr);
+            record.push(val);
+        }
+        let truncation = self.th.rt().truncation();
+        loop {
+            match self.th.log_mut().append(&record) {
+                Ok(()) => break,
+                Err(LogError::Full { .. }) => match truncation {
+                    // Synchronous regime: all prior commits already forced
+                    // their data, so dropping the log is safe.
+                    Truncation::Sync => self.th.log_mut().truncate_all(),
+                    // Asynchronous: wait for the log manager (§5: "program
+                    // threads may stall until there is free log space").
+                    Truncation::Async => std::thread::yield_now(),
+                },
+                Err(e) => panic!("transaction exceeds redo log capacity: {e}"),
+            }
+        }
+        // The single commit fence: the record is durable, but not yet
+        // visible to the async truncator (write-back hasn't happened).
+        self.th.log_mut().flush_unpublished();
+
+        // Write back buffered values (lazy version management).
+        for (&addr, &val) in &self.write_set {
+            self.th.pmem().store_u64(VAddr(addr), val);
+        }
+        // Now the truncator may consume (flush + truncate) the record.
+        self.th.log_mut().publish();
+
+        if truncation == Truncation::Sync {
+            // Force data, then truncate: walk distinct cache lines.
+            let lines: HashSet<u64> = self.write_set.keys().map(|a| a & !63).collect();
+            for line in lines {
+                self.th.pmem().flush(VAddr(line));
+            }
+            self.th.pmem().fence();
+            self.th.log_mut().truncate_all();
+        }
+
+        // Publish the new version and release ownership.
+        for &(idx, _) in &self.lock_set {
+            self.th.rt().locks().release(idx, ts);
+        }
+        self.lock_set.clear();
+
+        // Deferred frees happen after the commit point.
+        if !self.frees.is_empty() {
+            if let Some(heap) = self.th.rt().heap() {
+                for &addr in &self.frees {
+                    let freed = heap.pfree_addr(addr);
+                    debug_assert!(freed.is_ok(), "deferred pfree failed: {freed:?}");
+                }
+            }
+        }
+        self.th.rt().commits.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Abort: restore lock versions, release transaction-local
+    /// allocations, forget buffered writes.
+    pub(crate) fn abort(mut self) {
+        self.release_locks_restoring();
+        self.rollback_allocs();
+        self.th.rt().aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn release_locks_restoring(&mut self) {
+        for &(idx, old_version) in &self.lock_set {
+            self.th.rt().locks().release(idx, old_version);
+        }
+        self.lock_set.clear();
+        self.owned.clear();
+    }
+
+    fn rollback_allocs(&mut self) {
+        if self.allocs.is_empty() {
+            return;
+        }
+        if let Some(heap) = self.th.rt().heap() {
+            for &addr in &self.allocs {
+                let _ = heap.pfree_addr(addr);
+            }
+        }
+        self.allocs.clear();
+    }
+}

@@ -1,0 +1,45 @@
+//! File-system error type.
+
+use std::fmt;
+
+/// Errors from [`crate::SimpleFs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// No such file.
+    NotFound(String),
+    /// A file with this name already exists.
+    Exists(String),
+    /// The fixed file table is full.
+    FileTableFull,
+    /// The device has no free blocks (or a file ran out of extent slots).
+    NoSpace,
+    /// Invalid file name (empty, too long, or contains a separator).
+    BadName(String),
+    /// The superblock is corrupt.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(n) => write!(f, "no such file '{n}'"),
+            FsError::Exists(n) => write!(f, "file '{n}' already exists"),
+            FsError::FileTableFull => write!(f, "file table is full"),
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::BadName(n) => write!(f, "invalid file name '{n}'"),
+            FsError::Corrupt(w) => write!(f, "corrupt file system: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(FsError::NotFound("x".into()).to_string(), "no such file 'x'");
+    }
+}

@@ -1,0 +1,605 @@
+//! SimpleFs: a minimal extent-based file system over [`PcmDisk`].
+//!
+//! Stands in for the ext2 mount of §6.1. Layout:
+//!
+//! ```text
+//! block 0              superblock
+//! blocks 1..b          allocation bitmap (1 bit per block)
+//! blocks b..b+2        file table (64-byte entries)
+//! rest                 data blocks, allocated as extents
+//! ```
+//!
+//! Files grow by appending extents with doubling chunk sizes, so even a
+//! steadily growing write-ahead log needs only a handful of extents.
+//! Metadata updates are written through the device's page cache;
+//! [`SimpleFs::sync`] (the `fsync` analogue) forces everything dirty to
+//! PCM with the per-block cost model.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::disk::PcmDisk;
+use crate::error::FsError;
+use crate::BLOCK_SIZE;
+
+const FS_MAGIC: u64 = u64::from_le_bytes(*b"SIMPLEFS");
+const NAME_MAX: usize = 20;
+const EXTENTS: usize = 8;
+const ENTRY_BYTES: usize = 128;
+const TABLE_BLOCKS: u64 = 2;
+const MAX_FILES: usize = (TABLE_BLOCKS as usize * BLOCK_SIZE as usize) / ENTRY_BYTES;
+/// First extent allocation, in blocks; doubles per extent.
+const FIRST_CHUNK: u32 = 64;
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Extent {
+    start: u32,
+    len: u32,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FileEntry {
+    name: String,
+    size: u64,
+    extents: [Extent; EXTENTS],
+}
+
+impl FileEntry {
+    fn capacity_blocks(&self) -> u64 {
+        self.extents.iter().map(|e| e.len as u64).sum()
+    }
+
+    /// Physical block for logical block `l`, if allocated.
+    fn map_block(&self, l: u64) -> Option<u64> {
+        let mut off = 0u64;
+        for e in &self.extents {
+            if e.len == 0 {
+                break;
+            }
+            if l < off + e.len as u64 {
+                return Some(e.start as u64 + (l - off));
+            }
+            off += e.len as u64;
+        }
+        None
+    }
+}
+
+struct FsState {
+    entries: Vec<Option<FileEntry>>,
+    bitmap: Vec<u64>,
+    data_start: u64,
+}
+
+/// The file system. Cloneable handle (`Arc` inside); operations serialise
+/// on an internal lock, like a kernel FS under one superblock lock.
+#[derive(Clone)]
+pub struct SimpleFs {
+    disk: Arc<PcmDisk>,
+    state: Arc<Mutex<FsState>>,
+}
+
+impl std::fmt::Debug for SimpleFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimpleFs")
+            .field("files", &self.list().len())
+            .finish()
+    }
+}
+
+impl SimpleFs {
+    /// Formats (or re-opens) a file system on `disk`.
+    ///
+    /// # Errors
+    /// Fails if the device is too small or the superblock is corrupt.
+    pub fn format(disk: Arc<PcmDisk>) -> Result<SimpleFs, FsError> {
+        let blocks = disk.blocks();
+        let bitmap_blocks = blocks.div_ceil(BLOCK_SIZE * 8);
+        let data_start = 1 + bitmap_blocks + TABLE_BLOCKS;
+        if blocks < data_start + 8 {
+            return Err(FsError::NoSpace);
+        }
+        let mut bitmap = vec![0u64; (blocks.div_ceil(64)) as usize];
+        for b in 0..data_start {
+            bitmap[(b / 64) as usize] |= 1 << (b % 64);
+        }
+        let state = FsState {
+            entries: vec![None; MAX_FILES],
+            bitmap,
+            data_start,
+        };
+        let fs = SimpleFs {
+            disk,
+            state: Arc::new(Mutex::new(state)),
+        };
+        // Write superblock + empty metadata.
+        let mut sb = vec![0u8; BLOCK_SIZE as usize];
+        sb[0..8].copy_from_slice(&FS_MAGIC.to_le_bytes());
+        sb[8..16].copy_from_slice(&blocks.to_le_bytes());
+        sb[16..24].copy_from_slice(&bitmap_blocks.to_le_bytes());
+        fs.disk.write_block(0, &sb);
+        {
+            let st = fs.state.lock();
+            fs.write_bitmap(&st);
+            for i in 0..TABLE_BLOCKS {
+                fs.write_table_block(&st, i);
+            }
+        }
+        fs.disk.sync();
+        Ok(fs)
+    }
+
+    /// Re-opens an existing file system, reading metadata from the disk.
+    ///
+    /// # Errors
+    /// Fails if the superblock is missing or corrupt.
+    pub fn open(disk: Arc<PcmDisk>) -> Result<SimpleFs, FsError> {
+        let mut sb = vec![0u8; BLOCK_SIZE as usize];
+        disk.read_block(0, &mut sb);
+        if u64::from_le_bytes(sb[0..8].try_into().unwrap()) != FS_MAGIC {
+            return Err(FsError::Corrupt("bad magic"));
+        }
+        let blocks = u64::from_le_bytes(sb[8..16].try_into().unwrap());
+        let bitmap_blocks = u64::from_le_bytes(sb[16..24].try_into().unwrap());
+        if blocks != disk.blocks() {
+            return Err(FsError::Corrupt("size mismatch"));
+        }
+        let data_start = 1 + bitmap_blocks + TABLE_BLOCKS;
+        // Read bitmap.
+        let mut bitmap = vec![0u64; blocks.div_ceil(64) as usize];
+        let mut buf = vec![0u8; BLOCK_SIZE as usize];
+        for b in 0..bitmap_blocks {
+            disk.read_block(1 + b, &mut buf);
+            for (i, chunk) in buf.chunks_exact(8).enumerate() {
+                let idx = (b * BLOCK_SIZE / 8) as usize + i;
+                if idx < bitmap.len() {
+                    bitmap[idx] = u64::from_le_bytes(chunk.try_into().unwrap());
+                }
+            }
+        }
+        // Read file table.
+        let mut entries = vec![None; MAX_FILES];
+        for tb in 0..TABLE_BLOCKS {
+            disk.read_block(1 + bitmap_blocks + tb, &mut buf);
+            for (i, raw) in buf.chunks_exact(ENTRY_BYTES).enumerate() {
+                let slot = (tb * (BLOCK_SIZE / ENTRY_BYTES as u64)) as usize + i;
+                let name_len = raw[0] as usize;
+                if name_len == 0 || name_len > NAME_MAX {
+                    continue;
+                }
+                let name = String::from_utf8_lossy(&raw[1..1 + name_len]).into_owned();
+                let size = u64::from_le_bytes(raw[24..32].try_into().unwrap());
+                let mut extents = [Extent::default(); EXTENTS];
+                for (e, ext) in extents.iter_mut().enumerate() {
+                    let off = 32 + e * 8;
+                    ext.start = u32::from_le_bytes(raw[off..off + 4].try_into().unwrap());
+                    ext.len = u32::from_le_bytes(raw[off + 4..off + 8].try_into().unwrap());
+                }
+                entries[slot] = Some(FileEntry {
+                    name,
+                    size,
+                    extents,
+                });
+            }
+        }
+        Ok(SimpleFs {
+            disk,
+            state: Arc::new(Mutex::new(FsState {
+                entries,
+                bitmap,
+                data_start,
+            })),
+        })
+    }
+
+    /// The underlying device.
+    pub fn disk(&self) -> &Arc<PcmDisk> {
+        &self.disk
+    }
+
+    fn write_bitmap(&self, st: &FsState) {
+        let bitmap_blocks = self.disk.blocks().div_ceil(BLOCK_SIZE * 8);
+        let mut buf = vec![0u8; BLOCK_SIZE as usize];
+        for b in 0..bitmap_blocks {
+            buf.fill(0);
+            for i in 0..(BLOCK_SIZE / 8) as usize {
+                let idx = (b * BLOCK_SIZE / 8) as usize + i;
+                if idx < st.bitmap.len() {
+                    buf[i * 8..i * 8 + 8].copy_from_slice(&st.bitmap[idx].to_le_bytes());
+                }
+            }
+            self.disk.write_block(1 + b, &buf);
+        }
+    }
+
+    fn write_table_block(&self, st: &FsState, tb: u64) {
+        let per = (BLOCK_SIZE / ENTRY_BYTES as u64) as usize;
+        let mut buf = vec![0u8; BLOCK_SIZE as usize];
+        for i in 0..per {
+            let slot = tb as usize * per + i;
+            if let Some(Some(e)) = st.entries.get(slot) {
+                let raw = &mut buf[i * ENTRY_BYTES..(i + 1) * ENTRY_BYTES];
+                raw[0] = e.name.len() as u8;
+                raw[1..1 + e.name.len()].copy_from_slice(e.name.as_bytes());
+                raw[24..32].copy_from_slice(&e.size.to_le_bytes());
+                for (x, ext) in e.extents.iter().enumerate() {
+                    let off = 32 + x * 8;
+                    raw[off..off + 4].copy_from_slice(&ext.start.to_le_bytes());
+                    raw[off + 4..off + 8].copy_from_slice(&ext.len.to_le_bytes());
+                }
+            }
+        }
+        let bitmap_blocks = self.disk.blocks().div_ceil(BLOCK_SIZE * 8);
+        self.disk.write_block(1 + bitmap_blocks + tb, &buf);
+    }
+
+    fn flush_entry(&self, st: &FsState, slot: usize) {
+        let per = (BLOCK_SIZE / ENTRY_BYTES as u64) as usize;
+        self.write_table_block(st, (slot / per) as u64);
+    }
+
+    fn find(st: &FsState, name: &str) -> Option<usize> {
+        st.entries
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|e| e.name == name))
+    }
+
+    /// Allocates `want` contiguous blocks, best effort (falls back to the
+    /// largest available run ≥ 1).
+    fn alloc_extent(st: &mut FsState, want: u32) -> Option<Extent> {
+        let total = st.bitmap.len() as u64 * 64;
+        let mut run_start = 0u64;
+        let mut run_len = 0u32;
+        let mut best: Option<Extent> = None;
+        for b in st.data_start..total {
+            let free = st.bitmap[(b / 64) as usize] & (1 << (b % 64)) == 0;
+            if free {
+                if run_len == 0 {
+                    run_start = b;
+                }
+                run_len += 1;
+                if run_len >= want {
+                    best = Some(Extent {
+                        start: run_start as u32,
+                        len: run_len,
+                    });
+                    break;
+                }
+            } else {
+                if run_len > 0 && best.map_or(true, |e| e.len < run_len) {
+                    best = Some(Extent {
+                        start: run_start as u32,
+                        len: run_len,
+                    });
+                }
+                run_len = 0;
+            }
+        }
+        if run_len > 0 && best.map_or(true, |e| e.len < run_len) {
+            best = Some(Extent {
+                start: run_start as u32,
+                len: run_len,
+            });
+        }
+        let e = best?;
+        for b in e.start as u64..e.start as u64 + e.len as u64 {
+            st.bitmap[(b / 64) as usize] |= 1 << (b % 64);
+        }
+        Some(e)
+    }
+
+    fn free_extent(st: &mut FsState, e: Extent) {
+        for b in e.start as u64..e.start as u64 + e.len as u64 {
+            st.bitmap[(b / 64) as usize] &= !(1 << (b % 64));
+        }
+    }
+
+    /// Creates an empty file.
+    ///
+    /// # Errors
+    /// Fails on duplicate names, bad names, or a full table.
+    pub fn create(&self, name: &str) -> Result<(), FsError> {
+        if name.is_empty() || name.len() > NAME_MAX || name.contains('/') {
+            return Err(FsError::BadName(name.to_string()));
+        }
+        let mut st = self.state.lock();
+        if Self::find(&st, name).is_some() {
+            return Err(FsError::Exists(name.to_string()));
+        }
+        let slot = st
+            .entries
+            .iter()
+            .position(|e| e.is_none())
+            .ok_or(FsError::FileTableFull)?;
+        st.entries[slot] = Some(FileEntry {
+            name: name.to_string(),
+            ..Default::default()
+        });
+        self.flush_entry(&st, slot);
+        Ok(())
+    }
+
+    /// Whether the file exists.
+    pub fn exists(&self, name: &str) -> bool {
+        Self::find(&self.state.lock(), name).is_some()
+    }
+
+    /// All file names.
+    pub fn list(&self) -> Vec<String> {
+        self.state
+            .lock()
+            .entries
+            .iter()
+            .flatten()
+            .map(|e| e.name.clone())
+            .collect()
+    }
+
+    /// File size in bytes.
+    ///
+    /// # Errors
+    /// Fails if the file does not exist.
+    pub fn size(&self, name: &str) -> Result<u64, FsError> {
+        let st = self.state.lock();
+        let slot = Self::find(&st, name).ok_or_else(|| FsError::NotFound(name.into()))?;
+        Ok(st.entries[slot].as_ref().unwrap().size)
+    }
+
+    /// Deletes the file, freeing its blocks.
+    ///
+    /// # Errors
+    /// Fails if the file does not exist.
+    pub fn delete(&self, name: &str) -> Result<(), FsError> {
+        let mut st = self.state.lock();
+        let slot = Self::find(&st, name).ok_or_else(|| FsError::NotFound(name.into()))?;
+        let entry = st.entries[slot].take().unwrap();
+        for e in entry.extents {
+            if e.len > 0 {
+                Self::free_extent(&mut st, e);
+            }
+        }
+        self.write_bitmap(&st);
+        self.flush_entry(&st, slot);
+        Ok(())
+    }
+
+    /// Truncates the file to `size` bytes, freeing whole extents beyond
+    /// it (used by the storage manager to reset its write-ahead log).
+    ///
+    /// # Errors
+    /// Fails if the file does not exist.
+    pub fn truncate(&self, name: &str, size: u64) -> Result<(), FsError> {
+        let mut st = self.state.lock();
+        let slot = Self::find(&st, name).ok_or_else(|| FsError::NotFound(name.into()))?;
+        let mut entry = st.entries[slot].clone().unwrap();
+        let keep_blocks = size.div_ceil(BLOCK_SIZE);
+        let mut seen = 0u64;
+        let mut to_free = Vec::new();
+        for e in entry.extents.iter_mut() {
+            if e.len == 0 {
+                continue;
+            }
+            if seen >= keep_blocks {
+                to_free.push(*e);
+                *e = Extent::default();
+            } else {
+                seen += e.len as u64;
+            }
+        }
+        entry.size = size.min(entry.size);
+        st.entries[slot] = Some(entry);
+        for e in to_free {
+            Self::free_extent(&mut st, e);
+        }
+        self.write_bitmap(&st);
+        self.flush_entry(&st, slot);
+        Ok(())
+    }
+
+    /// Writes `data` at byte offset `off`, growing the file as needed.
+    ///
+    /// # Errors
+    /// Fails if the file does not exist or space runs out.
+    pub fn pwrite(&self, name: &str, off: u64, data: &[u8]) -> Result<(), FsError> {
+        let mut st = self.state.lock();
+        let slot = Self::find(&st, name).ok_or_else(|| FsError::NotFound(name.into()))?;
+        let mut entry = st.entries[slot].clone().unwrap();
+        let end = off + data.len() as u64;
+        let mut grew = false;
+        // Grow capacity with doubling extent chunks.
+        while entry.capacity_blocks() * BLOCK_SIZE < end {
+            grew = true;
+            let used = entry.extents.iter().filter(|e| e.len > 0).count();
+            if used == EXTENTS {
+                return Err(FsError::NoSpace);
+            }
+            let needed_blocks = end.div_ceil(BLOCK_SIZE) - entry.capacity_blocks();
+            let want = (FIRST_CHUNK << used).max(needed_blocks.min(u32::MAX as u64) as u32);
+            let e = Self::alloc_extent(&mut st, want).ok_or(FsError::NoSpace)?;
+            entry.extents[used] = e;
+        }
+        // Write data block by block (read-modify-write at the edges).
+        let mut pos = 0usize;
+        let mut buf = vec![0u8; BLOCK_SIZE as usize];
+        while pos < data.len() {
+            let abs = off + pos as u64;
+            let lblock = abs / BLOCK_SIZE;
+            let boff = (abs % BLOCK_SIZE) as usize;
+            let n = (BLOCK_SIZE as usize - boff).min(data.len() - pos);
+            let pblock = entry.map_block(lblock).ok_or(FsError::Corrupt("unmapped block"))?;
+            if boff != 0 || n != BLOCK_SIZE as usize {
+                self.disk.read_block(pblock, &mut buf);
+            } else {
+                buf.fill(0);
+            }
+            buf[boff..boff + n].copy_from_slice(&data[pos..pos + n]);
+            self.disk.write_block(pblock, &buf);
+            pos += n;
+        }
+        let size_changed = end > entry.size;
+        if size_changed {
+            entry.size = end;
+        }
+        st.entries[slot] = Some(entry);
+        // Metadata blocks are only rewritten when metadata changed, so a
+        // steady-state overwrite dirties just its data blocks.
+        if grew {
+            self.write_bitmap(&st);
+        }
+        if grew || size_changed {
+            self.flush_entry(&st, slot);
+        }
+        Ok(())
+    }
+
+    /// `fsync(file)`: forces only this file's dirty blocks (plus file-
+    /// system metadata) to PCM; returns blocks synced.
+    ///
+    /// # Errors
+    /// Fails if the file does not exist.
+    pub fn fsync(&self, name: &str) -> Result<u64, FsError> {
+        let (extents, data_start) = {
+            let st = self.state.lock();
+            let slot = Self::find(&st, name).ok_or_else(|| FsError::NotFound(name.into()))?;
+            (st.entries[slot].as_ref().unwrap().extents, st.data_start)
+        };
+        Ok(self.disk.sync_if(|b| {
+            b < data_start
+                || extents
+                    .iter()
+                    .any(|e| e.len > 0 && b >= e.start as u64 && b < e.start as u64 + e.len as u64)
+        }))
+    }
+
+    /// Reads up to `buf.len()` bytes at offset `off`; returns bytes read
+    /// (short at end of file, zero past it).
+    ///
+    /// # Errors
+    /// Fails if the file does not exist.
+    pub fn pread(&self, name: &str, off: u64, buf: &mut [u8]) -> Result<usize, FsError> {
+        let st = self.state.lock();
+        let slot = Self::find(&st, name).ok_or_else(|| FsError::NotFound(name.into()))?;
+        let entry = st.entries[slot].as_ref().unwrap();
+        if off >= entry.size {
+            return Ok(0);
+        }
+        let want = buf.len().min((entry.size - off) as usize);
+        let mut pos = 0usize;
+        let mut block = vec![0u8; BLOCK_SIZE as usize];
+        while pos < want {
+            let abs = off + pos as u64;
+            let lblock = abs / BLOCK_SIZE;
+            let boff = (abs % BLOCK_SIZE) as usize;
+            let n = (BLOCK_SIZE as usize - boff).min(want - pos);
+            match entry.map_block(lblock) {
+                Some(pb) => {
+                    self.disk.read_block(pb, &mut block);
+                    buf[pos..pos + n].copy_from_slice(&block[boff..boff + n]);
+                }
+                None => buf[pos..pos + n].fill(0),
+            }
+            pos += n;
+        }
+        Ok(want)
+    }
+
+    /// `fsync`: forces all dirty blocks to PCM; returns blocks synced.
+    pub fn sync(&self) -> u64 {
+        self.disk.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskConfig;
+
+    fn fs() -> SimpleFs {
+        SimpleFs::format(Arc::new(PcmDisk::new(DiskConfig::for_testing(1024)))).unwrap()
+    }
+
+    #[test]
+    fn create_write_read() {
+        let fs = fs();
+        fs.create("a.db").unwrap();
+        let data: Vec<u8> = (0..100u8).collect();
+        fs.pwrite("a.db", 10, &data).unwrap();
+        let mut back = vec![0u8; 100];
+        assert_eq!(fs.pread("a.db", 10, &mut back).unwrap(), 100);
+        assert_eq!(back, data);
+        assert_eq!(fs.size("a.db").unwrap(), 110);
+    }
+
+    #[test]
+    fn large_file_spans_extents() {
+        let fs = fs();
+        fs.create("big").unwrap();
+        let chunk = vec![0xabu8; 64 * 1024];
+        for i in 0..4u64 {
+            fs.pwrite("big", i * chunk.len() as u64, &chunk).unwrap();
+        }
+        let mut back = vec![0u8; 1000];
+        fs.pread("big", 3 * 64 * 1024 + 500, &mut back).unwrap();
+        assert!(back.iter().all(|&b| b == 0xab));
+    }
+
+    #[test]
+    fn metadata_survives_reopen_after_sync() {
+        let disk = Arc::new(PcmDisk::new(DiskConfig::for_testing(1024)));
+        {
+            let fs = SimpleFs::format(Arc::clone(&disk)).unwrap();
+            fs.create("keep").unwrap();
+            fs.pwrite("keep", 0, b"persist me").unwrap();
+            fs.sync();
+        }
+        disk.crash(); // unsynced state would vanish
+        let fs2 = SimpleFs::open(disk).unwrap();
+        assert!(fs2.exists("keep"));
+        let mut buf = vec![0u8; 10];
+        fs2.pread("keep", 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"persist me");
+    }
+
+    #[test]
+    fn delete_frees_space() {
+        let fs = fs();
+        fs.create("x").unwrap();
+        fs.pwrite("x", 0, &vec![1u8; 100 * 1024]).unwrap();
+        fs.delete("x").unwrap();
+        assert!(!fs.exists("x"));
+        // Space is reusable.
+        fs.create("y").unwrap();
+        fs.pwrite("y", 0, &vec![2u8; 100 * 1024]).unwrap();
+    }
+
+    #[test]
+    fn truncate_frees_tail_extents() {
+        let fs = fs();
+        fs.create("log").unwrap();
+        fs.pwrite("log", 0, &vec![3u8; 512 * 1024]).unwrap();
+        fs.truncate("log", 0).unwrap();
+        assert_eq!(fs.size("log").unwrap(), 0);
+        // Can grow again from scratch.
+        fs.pwrite("log", 0, &vec![4u8; 512 * 1024]).unwrap();
+    }
+
+    #[test]
+    fn errors() {
+        let fs = fs();
+        assert!(matches!(fs.pread("nope", 0, &mut [0u8; 4]), Err(FsError::NotFound(_))));
+        fs.create("dup").unwrap();
+        assert!(matches!(fs.create("dup"), Err(FsError::Exists(_))));
+        assert!(matches!(fs.create("bad/name"), Err(FsError::BadName(_))));
+    }
+
+    #[test]
+    fn read_past_eof_is_short() {
+        let fs = fs();
+        fs.create("s").unwrap();
+        fs.pwrite("s", 0, b"abc").unwrap();
+        let mut buf = [0u8; 10];
+        assert_eq!(fs.pread("s", 0, &mut buf).unwrap(), 3);
+        assert_eq!(fs.pread("s", 5, &mut buf).unwrap(), 0);
+    }
+}

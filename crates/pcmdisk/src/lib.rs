@@ -1,0 +1,28 @@
+//! PCM-disk: a block-device emulator for PCM plus a minimal file system.
+//!
+//! The paper's comparison systems (Berkeley DB, file serialization, Tokyo
+//! Cabinet's `msync` mode) run on "PCM-disk, an emulator for a PCM-based
+//! block device. Based on Linux's RAM disk, PCM disk introduces delays
+//! when writing a block. We model block writes using sequential
+//! write-through operations … and mount an ext2 file system" (§6.1).
+//!
+//! * [`PcmDisk`] — the block device: a volatile page cache over PCM
+//!   media; a block write is charged one PCM write latency plus
+//!   `block_size / bandwidth` at sync time, with **one fence per block**
+//!   (the property §6.3 credits for Berkeley DB's large-write efficiency);
+//! * [`SimpleFs`] — a small extent-based file system (superblock,
+//!   allocation bitmap, fixed file table) standing in for ext2: create /
+//!   delete / `pread` / `pwrite` / `fsync`.
+
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod error;
+pub mod fs;
+
+pub use disk::{DiskConfig, DiskStats, PcmDisk};
+pub use error::FsError;
+pub use fs::SimpleFs;
+
+/// Block size of the device and file system.
+pub const BLOCK_SIZE: u64 = 4096;

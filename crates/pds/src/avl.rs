@@ -1,0 +1,541 @@
+//! A persistent AVL tree — the OpenLDAP entry-cache structure (§6.2).
+//!
+//! `back-mnemosyne` "is organized using an AVL tree, which we make
+//! persistent by allocating nodes with pmalloc and placing atomic blocks
+//! around updates". The SLAMD workload adds directory entries and
+//! searches them, so the tree supports insert/replace and lookup; each
+//! mutation is one durable transaction.
+//!
+//! Node layout (one `pmalloc` block):
+//!
+//! ```text
+//! [left][right][height][klen][vlen][key bytes (8-aligned)][value bytes]
+//! ```
+
+use std::cmp::Ordering;
+
+use mnemosyne::{Mnemosyne, Tx, TxAbort, TxError, TxThread, VAddr};
+
+const OFF_LEFT: u64 = 0;
+const OFF_RIGHT: u64 = 8;
+const OFF_HEIGHT: u64 = 16;
+const OFF_KLEN: u64 = 24;
+const OFF_VLEN: u64 = 32;
+const OFF_KEY: u64 = 40;
+
+fn pad8(n: usize) -> u64 {
+    (n as u64).div_ceil(8) * 8
+}
+
+/// Handle to a persistent AVL tree.
+#[derive(Debug, Clone, Copy)]
+pub struct PAvlTree {
+    root_cell: VAddr,
+}
+
+fn node_key(tx: &mut Tx<'_>, node: VAddr) -> Result<Vec<u8>, TxAbort> {
+    let klen = tx.read_u64(node.add(OFF_KLEN))? as usize;
+    let mut k = vec![0u8; klen];
+    tx.read_bytes(node.add(OFF_KEY), &mut k)?;
+    Ok(k)
+}
+
+fn height(tx: &mut Tx<'_>, node: VAddr) -> Result<i64, TxAbort> {
+    if node.is_null() {
+        return Ok(0);
+    }
+    Ok(tx.read_u64(node.add(OFF_HEIGHT))? as i64)
+}
+
+fn fix_height(tx: &mut Tx<'_>, node: VAddr) -> Result<(), TxAbort> {
+    let l = VAddr(tx.read_u64(node.add(OFF_LEFT))?);
+    let r = VAddr(tx.read_u64(node.add(OFF_RIGHT))?);
+    let h = (1 + height(tx, l)?.max(height(tx, r)?)) as u64;
+    // Only write when the height actually changes: most of the insert
+    // path is unaffected, and avoiding the write keeps the transaction's
+    // write set (and its lock footprint) proportional to the real change.
+    if tx.read_u64(node.add(OFF_HEIGHT))? != h {
+        tx.write_u64(node.add(OFF_HEIGHT), h)?;
+    }
+    Ok(())
+}
+
+fn balance_factor(tx: &mut Tx<'_>, node: VAddr) -> Result<i64, TxAbort> {
+    let l = VAddr(tx.read_u64(node.add(OFF_LEFT))?);
+    let r = VAddr(tx.read_u64(node.add(OFF_RIGHT))?);
+    Ok(height(tx, l)? - height(tx, r)?)
+}
+
+/// Right rotation around `y`; returns the new subtree root.
+fn rotate_right(tx: &mut Tx<'_>, y: VAddr) -> Result<VAddr, TxAbort> {
+    let x = VAddr(tx.read_u64(y.add(OFF_LEFT))?);
+    let t2 = tx.read_u64(x.add(OFF_RIGHT))?;
+    tx.write_u64(y.add(OFF_LEFT), t2)?;
+    tx.write_u64(x.add(OFF_RIGHT), y.0)?;
+    fix_height(tx, y)?;
+    fix_height(tx, x)?;
+    Ok(x)
+}
+
+/// Left rotation around `x`; returns the new subtree root.
+fn rotate_left(tx: &mut Tx<'_>, x: VAddr) -> Result<VAddr, TxAbort> {
+    let y = VAddr(tx.read_u64(x.add(OFF_RIGHT))?);
+    let t2 = tx.read_u64(y.add(OFF_LEFT))?;
+    tx.write_u64(x.add(OFF_RIGHT), t2)?;
+    tx.write_u64(y.add(OFF_LEFT), x.0)?;
+    fix_height(tx, x)?;
+    fix_height(tx, y)?;
+    Ok(y)
+}
+
+fn rebalance(tx: &mut Tx<'_>, node: VAddr) -> Result<VAddr, TxAbort> {
+    fix_height(tx, node)?;
+    let bf = balance_factor(tx, node)?;
+    if bf > 1 {
+        let l = VAddr(tx.read_u64(node.add(OFF_LEFT))?);
+        if balance_factor(tx, l)? < 0 {
+            let nl = rotate_left(tx, l)?;
+            tx.write_u64(node.add(OFF_LEFT), nl.0)?;
+        }
+        return rotate_right(tx, node);
+    }
+    if bf < -1 {
+        let r = VAddr(tx.read_u64(node.add(OFF_RIGHT))?);
+        if balance_factor(tx, r)? > 0 {
+            let nr = rotate_right(tx, r)?;
+            tx.write_u64(node.add(OFF_RIGHT), nr.0)?;
+        }
+        return rotate_left(tx, node);
+    }
+    Ok(node)
+}
+
+fn new_node(tx: &mut Tx<'_>, key: &[u8], value: &[u8]) -> Result<VAddr, TxAbort> {
+    let node = tx.pmalloc(OFF_KEY + pad8(key.len()) + pad8(value.len()))?;
+    tx.write_u64(node.add(OFF_LEFT), 0)?;
+    tx.write_u64(node.add(OFF_RIGHT), 0)?;
+    tx.write_u64(node.add(OFF_HEIGHT), 1)?;
+    tx.write_u64(node.add(OFF_KLEN), key.len() as u64)?;
+    tx.write_u64(node.add(OFF_VLEN), value.len() as u64)?;
+    tx.write_bytes(node.add(OFF_KEY), key)?;
+    tx.write_bytes(node.add(OFF_KEY + pad8(key.len())), value)?;
+    Ok(node)
+}
+
+/// Recursive insert; returns the (possibly new) subtree root and whether
+/// a node was added (false = replaced in place).
+fn insert_rec(
+    tx: &mut Tx<'_>,
+    node: VAddr,
+    key: &[u8],
+    value: &[u8],
+) -> Result<(VAddr, bool), TxAbort> {
+    if node.is_null() {
+        return Ok((new_node(tx, key, value)?, true));
+    }
+    let nk = node_key(tx, node)?;
+    match key.cmp(nk.as_slice()) {
+        Ordering::Less => {
+            let l = VAddr(tx.read_u64(node.add(OFF_LEFT))?);
+            let (nl, added) = insert_rec(tx, l, key, value)?;
+            if nl != l {
+                tx.write_u64(node.add(OFF_LEFT), nl.0)?;
+            }
+            Ok((rebalance(tx, node)?, added))
+        }
+        Ordering::Greater => {
+            let r = VAddr(tx.read_u64(node.add(OFF_RIGHT))?);
+            let (nr, added) = insert_rec(tx, r, key, value)?;
+            if nr != r {
+                tx.write_u64(node.add(OFF_RIGHT), nr.0)?;
+            }
+            Ok((rebalance(tx, node)?, added))
+        }
+        Ordering::Equal => {
+            // Replace: shadow the node with a fresh one carrying the new
+            // value, preserving children and height.
+            let repl = new_node(tx, key, value)?;
+            let l = tx.read_u64(node.add(OFF_LEFT))?;
+            let r = tx.read_u64(node.add(OFF_RIGHT))?;
+            let h = tx.read_u64(node.add(OFF_HEIGHT))?;
+            tx.write_u64(repl.add(OFF_LEFT), l)?;
+            tx.write_u64(repl.add(OFF_RIGHT), r)?;
+            tx.write_u64(repl.add(OFF_HEIGHT), h)?;
+            tx.pfree(node);
+            Ok((repl, false))
+        }
+    }
+}
+
+/// Detaches the minimum node of the subtree rooted at `node`, returning
+/// `(new subtree root, detached min)` and rebalancing on the way up.
+fn delete_min(tx: &mut Tx<'_>, node: VAddr) -> Result<(VAddr, VAddr), TxAbort> {
+    let l = VAddr(tx.read_u64(node.add(OFF_LEFT))?);
+    if l.is_null() {
+        let r = VAddr(tx.read_u64(node.add(OFF_RIGHT))?);
+        return Ok((r, node));
+    }
+    let (nl, min) = delete_min(tx, l)?;
+    if nl != l {
+        tx.write_u64(node.add(OFF_LEFT), nl.0)?;
+    }
+    Ok((rebalance(tx, node)?, min))
+}
+
+/// Recursive delete; returns the new subtree root and whether a node was
+/// removed.
+fn delete_rec(tx: &mut Tx<'_>, node: VAddr, key: &[u8]) -> Result<(VAddr, bool), TxAbort> {
+    if node.is_null() {
+        return Ok((node, false));
+    }
+    let nk = node_key(tx, node)?;
+    match key.cmp(nk.as_slice()) {
+        Ordering::Less => {
+            let l = VAddr(tx.read_u64(node.add(OFF_LEFT))?);
+            let (nl, removed) = delete_rec(tx, l, key)?;
+            if nl != l {
+                tx.write_u64(node.add(OFF_LEFT), nl.0)?;
+            }
+            Ok((rebalance(tx, node)?, removed))
+        }
+        Ordering::Greater => {
+            let r = VAddr(tx.read_u64(node.add(OFF_RIGHT))?);
+            let (nr, removed) = delete_rec(tx, r, key)?;
+            if nr != r {
+                tx.write_u64(node.add(OFF_RIGHT), nr.0)?;
+            }
+            Ok((rebalance(tx, node)?, removed))
+        }
+        Ordering::Equal => {
+            let l = VAddr(tx.read_u64(node.add(OFF_LEFT))?);
+            let r = VAddr(tx.read_u64(node.add(OFF_RIGHT))?);
+            tx.pfree(node); // freed only if the transaction commits
+            if r.is_null() {
+                return Ok((l, true));
+            }
+            // Relink the in-order successor in place of the victim —
+            // pointer surgery, no payload copying (keys vary in size).
+            let (nr, succ) = delete_min(tx, r)?;
+            tx.write_u64(succ.add(OFF_LEFT), l.0)?;
+            tx.write_u64(succ.add(OFF_RIGHT), nr.0)?;
+            Ok((rebalance(tx, succ)?, true))
+        }
+    }
+}
+
+impl PAvlTree {
+    /// Opens (or creates) the named tree.
+    ///
+    /// # Errors
+    /// Propagates pstatic failures.
+    pub fn open(m: &Mnemosyne, name: &str) -> Result<PAvlTree, mnemosyne::Error> {
+        Ok(PAvlTree {
+            root_cell: m.pstatic(name, 8)?,
+        })
+    }
+
+    /// Inserts or replaces `key → value`; returns `true` if a new key was
+    /// added.
+    ///
+    /// # Errors
+    /// Propagates transaction/heap failures.
+    pub fn insert(&self, th: &mut TxThread, key: &[u8], value: &[u8]) -> Result<bool, TxError> {
+        let root_cell = self.root_cell;
+        th.atomic(|tx| {
+            let root = VAddr(tx.read_u64(root_cell)?);
+            let (new_root, added) = insert_rec(tx, root, key, value)?;
+            if new_root != root {
+                tx.write_u64(root_cell, new_root.0)?;
+            }
+            Ok(added)
+        })
+    }
+
+    /// Removes `key`, rebalancing and releasing the node; returns whether
+    /// it was present.
+    ///
+    /// # Errors
+    /// Propagates transaction failures.
+    pub fn remove(&self, th: &mut TxThread, key: &[u8]) -> Result<bool, TxError> {
+        let root_cell = self.root_cell;
+        th.atomic(|tx| {
+            let root = VAddr(tx.read_u64(root_cell)?);
+            let (new_root, removed) = delete_rec(tx, root, key)?;
+            if new_root != root {
+                tx.write_u64(root_cell, new_root.0)?;
+            }
+            Ok(removed)
+        })
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    /// Propagates transaction failures.
+    pub fn get(&self, th: &mut TxThread, key: &[u8]) -> Result<Option<Vec<u8>>, TxError> {
+        let root_cell = self.root_cell;
+        th.atomic(|tx| {
+            let mut node = VAddr(tx.read_u64(root_cell)?);
+            while !node.is_null() {
+                let nk = node_key(tx, node)?;
+                match key.cmp(nk.as_slice()) {
+                    Ordering::Less => node = VAddr(tx.read_u64(node.add(OFF_LEFT))?),
+                    Ordering::Greater => node = VAddr(tx.read_u64(node.add(OFF_RIGHT))?),
+                    Ordering::Equal => {
+                        let klen = tx.read_u64(node.add(OFF_KLEN))? as usize;
+                        let vlen = tx.read_u64(node.add(OFF_VLEN))? as usize;
+                        let mut v = vec![0u8; vlen];
+                        tx.read_bytes(node.add(OFF_KEY + pad8(klen)), &mut v)?;
+                        return Ok(Some(v));
+                    }
+                }
+            }
+            Ok(None)
+        })
+    }
+
+    /// Number of entries (full walk; diagnostics).
+    ///
+    /// # Errors
+    /// Propagates transaction failures.
+    pub fn len(&self, th: &mut TxThread) -> Result<u64, TxError> {
+        let root_cell = self.root_cell;
+        th.atomic(|tx| {
+            fn count(tx: &mut Tx<'_>, node: VAddr) -> Result<u64, TxAbort> {
+                if node.is_null() {
+                    return Ok(0);
+                }
+                let l = VAddr(tx.read_u64(node.add(OFF_LEFT))?);
+                let r = VAddr(tx.read_u64(node.add(OFF_RIGHT))?);
+                Ok(1 + count(tx, l)? + count(tx, r)?)
+            }
+            let root = VAddr(tx.read_u64(root_cell)?);
+            count(tx, root)
+        })
+    }
+
+    /// Whether the tree is empty.
+    ///
+    /// # Errors
+    /// Propagates transaction failures.
+    pub fn is_empty(&self, th: &mut TxThread) -> Result<bool, TxError> {
+        let root_cell = self.root_cell;
+        th.atomic(|tx| Ok(tx.read_u64(root_cell)? == 0))
+    }
+
+    /// Verifies the AVL invariants (balance factors in [-1, 1], ordered
+    /// keys, consistent heights); returns the node count.
+    ///
+    /// # Errors
+    /// Propagates transaction failures.
+    ///
+    /// # Panics
+    /// Panics if an invariant is violated (test helper).
+    pub fn check_invariants(&self, th: &mut TxThread) -> Result<u64, TxError> {
+        let root_cell = self.root_cell;
+        th.atomic(|tx| {
+            fn walk(
+                tx: &mut Tx<'_>,
+                node: VAddr,
+                lo: Option<&[u8]>,
+                hi: Option<&[u8]>,
+            ) -> Result<(i64, u64), TxAbort> {
+                if node.is_null() {
+                    return Ok((0, 0));
+                }
+                let k = node_key(tx, node)?;
+                if let Some(lo) = lo {
+                    assert!(k.as_slice() > lo, "ordering violated");
+                }
+                if let Some(hi) = hi {
+                    assert!(k.as_slice() < hi, "ordering violated");
+                }
+                let l = VAddr(tx.read_u64(node.add(OFF_LEFT))?);
+                let r = VAddr(tx.read_u64(node.add(OFF_RIGHT))?);
+                let (lh, ln) = walk(tx, l, lo, Some(&k))?;
+                let (rh, rn) = walk(tx, r, Some(&k), hi)?;
+                assert!((lh - rh).abs() <= 1, "balance violated at {node}");
+                let h = tx.read_u64(node.add(OFF_HEIGHT))? as i64;
+                assert_eq!(h, 1 + lh.max(rh), "height stale at {node}");
+                Ok((h, 1 + ln + rn))
+            }
+            let root = VAddr(tx.read_u64(root_cell)?);
+            let (_, n) = walk(tx, root, None, None)?;
+            Ok(n)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnemosyne::CrashPolicy;
+    use std::path::PathBuf;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "pds-avl-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let d = dir("basic");
+        let m = Mnemosyne::builder(&d).scm_size(32 << 20).open().unwrap();
+        let mut th = m.register_thread().unwrap();
+        let t = PAvlTree::open(&m, "tree").unwrap();
+        assert!(t.insert(&mut th, b"m", b"1").unwrap());
+        assert!(t.insert(&mut th, b"a", b"2").unwrap());
+        assert!(t.insert(&mut th, b"z", b"3").unwrap());
+        assert!(!t.insert(&mut th, b"a", b"two").unwrap());
+        assert_eq!(t.get(&mut th, b"a").unwrap().unwrap(), b"two");
+        assert_eq!(t.get(&mut th, b"zz").unwrap(), None);
+        assert_eq!(t.len(&mut th).unwrap(), 3);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn stays_balanced_under_sequential_inserts() {
+        let d = dir("balance");
+        let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+        let mut th = m.register_thread().unwrap();
+        let t = PAvlTree::open(&m, "tree").unwrap();
+        // Sequential keys are the worst case for an unbalanced BST.
+        for i in 0..500u32 {
+            t.insert(&mut th, format!("key{i:06}").as_bytes(), b"v").unwrap();
+        }
+        assert_eq!(t.check_invariants(&mut th).unwrap(), 500);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn survives_crash_mid_workload() {
+        let d = dir("crash");
+        let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+        {
+            let mut th = m.register_thread().unwrap();
+            let t = PAvlTree::open(&m, "tree").unwrap();
+            for i in 0..200u32 {
+                t.insert(&mut th, format!("dn={i}").as_bytes(), &vec![i as u8; 32])
+                    .unwrap();
+            }
+        }
+        let m2 = m.crash_reboot(CrashPolicy::random(17)).unwrap();
+        let mut th = m2.register_thread().unwrap();
+        let t = PAvlTree::open(&m2, "tree").unwrap();
+        assert_eq!(t.check_invariants(&mut th).unwrap(), 200);
+        for i in 0..200u32 {
+            assert_eq!(
+                t.get(&mut th, format!("dn={i}").as_bytes()).unwrap().unwrap(),
+                vec![i as u8; 32]
+            );
+        }
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn remove_rebalances_and_frees() {
+        let d = dir("remove");
+        let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+        let mut th = m.register_thread().unwrap();
+        let t = PAvlTree::open(&m, "tree").unwrap();
+        for i in 0..200u32 {
+            t.insert(&mut th, format!("k{i:04}").as_bytes(), &[i as u8; 16])
+                .unwrap();
+        }
+        let frees_before = m.heap().stats().frees;
+        // Remove every third key, including internal nodes.
+        let mut removed = 0;
+        for i in (0..200u32).step_by(3) {
+            assert!(t.remove(&mut th, format!("k{i:04}").as_bytes()).unwrap());
+            removed += 1;
+        }
+        assert!(!t.remove(&mut th, b"k0000").unwrap(), "double remove");
+        assert_eq!(
+            t.check_invariants(&mut th).unwrap(),
+            200 - removed,
+            "balance must hold after deletions"
+        );
+        assert_eq!(m.heap().stats().frees - frees_before, removed);
+        // Remaining keys intact.
+        for i in 0..200u32 {
+            let present = t.get(&mut th, format!("k{i:04}").as_bytes()).unwrap();
+            assert_eq!(present.is_some(), i % 3 != 0, "key {i}");
+        }
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn drain_entire_tree() {
+        let d = dir("drain");
+        let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+        let mut th = m.register_thread().unwrap();
+        let t = PAvlTree::open(&m, "tree").unwrap();
+        for i in 0..100u32 {
+            t.insert(&mut th, &i.to_le_bytes(), b"v").unwrap();
+        }
+        // Remove in an order that forces both leaf and two-child cases.
+        let mut x = 5u32;
+        let mut left = 100;
+        let mut gone = std::collections::HashSet::new();
+        while left > 0 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let k = x % 100;
+            if gone.insert(k) {
+                assert!(t.remove(&mut th, &k.to_le_bytes()).unwrap());
+                left -= 1;
+                if left % 25 == 0 {
+                    t.check_invariants(&mut th).unwrap();
+                }
+            }
+        }
+        assert!(t.is_empty(&mut th).unwrap());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn removals_survive_crash() {
+        let d = dir("rm-crash");
+        let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+        {
+            let mut th = m.register_thread().unwrap();
+            let t = PAvlTree::open(&m, "tree").unwrap();
+            for i in 0..100u32 {
+                t.insert(&mut th, &i.to_le_bytes(), b"v").unwrap();
+            }
+            for i in 0..50u32 {
+                t.remove(&mut th, &(i * 2).to_le_bytes()).unwrap();
+            }
+        }
+        let m2 = m.crash_reboot(mnemosyne::CrashPolicy::random(3)).unwrap();
+        let mut th = m2.register_thread().unwrap();
+        let t = PAvlTree::open(&m2, "tree").unwrap();
+        assert_eq!(t.check_invariants(&mut th).unwrap(), 50);
+        for i in 0..100u32 {
+            assert_eq!(
+                t.get(&mut th, &i.to_le_bytes()).unwrap().is_some(),
+                i % 2 == 1
+            );
+        }
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn random_order_inserts_hold_invariants() {
+        let d = dir("random");
+        let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+        let mut th = m.register_thread().unwrap();
+        let t = PAvlTree::open(&m, "tree").unwrap();
+        let mut x = 12345u64;
+        for _ in 0..300 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            t.insert(&mut th, &x.to_le_bytes(), b"v").unwrap();
+        }
+        t.check_invariants(&mut th).unwrap();
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

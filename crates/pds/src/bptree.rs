@@ -1,0 +1,483 @@
+//! A persistent B+ tree — Tokyo Cabinet's structure (§6.2).
+//!
+//! Tokyo Cabinet "stores data in a B+ tree"; the converted version
+//! allocates the tree in a persistent region and performs updates in
+//! durable transactions, with the file/`msync` persistence code removed.
+//!
+//! Keys are `u64`; values are separately `pmalloc`ed blobs
+//! (`[vlen][bytes…]`). Node layout (order 8):
+//!
+//! ```text
+//! leaf:     [1][nkeys][next_leaf][keys ×8][value ptrs ×8]
+//! internal: [0][nkeys][unused]   [keys ×8][children ×9]
+//! ```
+//!
+//! Deletion removes the key from its leaf without rebalancing (lazy
+//! deletion): correct for lookups, and matching the insert/delete
+//! steady-state of the Table 4 workload. Structural shrink is left to a
+//! rebuild, as in many production B-trees.
+
+use mnemosyne::{Mnemosyne, Tx, TxAbort, TxError, TxThread, VAddr};
+
+/// Maximum keys per node.
+const ORDER: usize = 8;
+
+const OFF_TAG: u64 = 0;
+const OFF_NKEYS: u64 = 8;
+const OFF_NEXT: u64 = 16; // next leaf (leaves only)
+const OFF_KEYS: u64 = 24;
+const OFF_VALS: u64 = OFF_KEYS + (ORDER as u64) * 8; // leaf value ptrs
+const OFF_CHILDREN: u64 = OFF_KEYS + (ORDER as u64) * 8; // internal children
+const LEAF_BYTES: u64 = OFF_VALS + (ORDER as u64) * 8;
+const INTERNAL_BYTES: u64 = OFF_CHILDREN + (ORDER as u64 + 1) * 8;
+
+/// Handle to a persistent B+ tree.
+#[derive(Debug, Clone, Copy)]
+pub struct PBPlusTree {
+    root_cell: VAddr,
+}
+
+fn read_keys(tx: &mut Tx<'_>, node: VAddr, n: usize) -> Result<Vec<u64>, TxAbort> {
+    (0..n)
+        .map(|i| tx.read_u64(node.add(OFF_KEYS + i as u64 * 8)))
+        .collect()
+}
+
+fn new_leaf(tx: &mut Tx<'_>) -> Result<VAddr, TxAbort> {
+    let leaf = tx.pmalloc(LEAF_BYTES)?;
+    tx.write_u64(leaf.add(OFF_TAG), 1)?;
+    tx.write_u64(leaf.add(OFF_NKEYS), 0)?;
+    tx.write_u64(leaf.add(OFF_NEXT), 0)?;
+    Ok(leaf)
+}
+
+fn new_blob(tx: &mut Tx<'_>, value: &[u8]) -> Result<VAddr, TxAbort> {
+    let blob = tx.pmalloc(8 + (value.len() as u64).div_ceil(8) * 8)?;
+    tx.write_u64(blob, value.len() as u64)?;
+    tx.write_bytes(blob.add(8), value)?;
+    Ok(blob)
+}
+
+fn read_blob(tx: &mut Tx<'_>, blob: VAddr) -> Result<Vec<u8>, TxAbort> {
+    let len = tx.read_u64(blob)? as usize;
+    let mut v = vec![0u8; len];
+    tx.read_bytes(blob.add(8), &mut v)?;
+    Ok(v)
+}
+
+/// Shifts the key (and parallel pointer) arrays right from `idx`.
+fn shift_right(
+    tx: &mut Tx<'_>,
+    node: VAddr,
+    ptr_off: u64,
+    n: usize,
+    idx: usize,
+) -> Result<(), TxAbort> {
+    for i in (idx..n).rev() {
+        let k = tx.read_u64(node.add(OFF_KEYS + i as u64 * 8))?;
+        tx.write_u64(node.add(OFF_KEYS + (i + 1) as u64 * 8), k)?;
+        let p = tx.read_u64(node.add(ptr_off + i as u64 * 8))?;
+        tx.write_u64(node.add(ptr_off + (i + 1) as u64 * 8), p)?;
+    }
+    Ok(())
+}
+
+/// Result of a recursive insert: the subtree may have split.
+enum InsertResult {
+    Done { replaced: bool },
+    Split { sep: u64, right: VAddr, replaced: bool },
+}
+
+fn insert_rec(tx: &mut Tx<'_>, node: VAddr, key: u64, value: &[u8]) -> Result<InsertResult, TxAbort> {
+    let is_leaf = tx.read_u64(node.add(OFF_TAG))? == 1;
+    let n = tx.read_u64(node.add(OFF_NKEYS))? as usize;
+    let keys = read_keys(tx, node, n)?;
+    if is_leaf {
+        if let Ok(pos) = keys.binary_search(&key) {
+            // Replace: swap in a fresh blob.
+            let old = VAddr(tx.read_u64(node.add(OFF_VALS + pos as u64 * 8))?);
+            let blob = new_blob(tx, value)?;
+            tx.write_u64(node.add(OFF_VALS + pos as u64 * 8), blob.0)?;
+            tx.pfree(old);
+            return Ok(InsertResult::Done { replaced: true });
+        }
+        let pos = keys.partition_point(|&k| k < key);
+        if n < ORDER {
+            shift_right(tx, node, OFF_VALS, n, pos)?;
+            let blob = new_blob(tx, value)?;
+            tx.write_u64(node.add(OFF_KEYS + pos as u64 * 8), key)?;
+            tx.write_u64(node.add(OFF_VALS + pos as u64 * 8), blob.0)?;
+            tx.write_u64(node.add(OFF_NKEYS), n as u64 + 1)?;
+            return Ok(InsertResult::Done { replaced: false });
+        }
+        // Split the leaf: right half moves to a new leaf.
+        let right = new_leaf(tx)?;
+        let mid = ORDER / 2;
+        for (j, i) in (mid..n).enumerate() {
+            let k = tx.read_u64(node.add(OFF_KEYS + i as u64 * 8))?;
+            let v = tx.read_u64(node.add(OFF_VALS + i as u64 * 8))?;
+            tx.write_u64(right.add(OFF_KEYS + j as u64 * 8), k)?;
+            tx.write_u64(right.add(OFF_VALS + j as u64 * 8), v)?;
+        }
+        tx.write_u64(right.add(OFF_NKEYS), (n - mid) as u64)?;
+        let next = tx.read_u64(node.add(OFF_NEXT))?;
+        tx.write_u64(right.add(OFF_NEXT), next)?;
+        tx.write_u64(node.add(OFF_NEXT), right.0)?;
+        tx.write_u64(node.add(OFF_NKEYS), mid as u64)?;
+        // Insert into the proper half.
+        let target = if key < tx.read_u64(right.add(OFF_KEYS))? { node } else { right };
+        match insert_rec(tx, target, key, value)? {
+            InsertResult::Done { replaced } => Ok(InsertResult::Split {
+                sep: tx.read_u64(right.add(OFF_KEYS))?,
+                right,
+                replaced,
+            }),
+            InsertResult::Split { .. } => unreachable!("half-full leaf cannot split"),
+        }
+    } else {
+        let pos = keys.partition_point(|&k| k <= key);
+        let child = VAddr(tx.read_u64(node.add(OFF_CHILDREN + pos as u64 * 8))?);
+        match insert_rec(tx, child, key, value)? {
+            InsertResult::Done { replaced } => Ok(InsertResult::Done { replaced }),
+            InsertResult::Split { sep, right, replaced } => {
+                if n < ORDER {
+                    // Make room for sep at pos; children shift from pos+1.
+                    for i in (pos..n).rev() {
+                        let k = tx.read_u64(node.add(OFF_KEYS + i as u64 * 8))?;
+                        tx.write_u64(node.add(OFF_KEYS + (i + 1) as u64 * 8), k)?;
+                    }
+                    for i in (pos + 1..=n).rev() {
+                        let c = tx.read_u64(node.add(OFF_CHILDREN + i as u64 * 8))?;
+                        tx.write_u64(node.add(OFF_CHILDREN + (i + 1) as u64 * 8), c)?;
+                    }
+                    tx.write_u64(node.add(OFF_KEYS + pos as u64 * 8), sep)?;
+                    tx.write_u64(node.add(OFF_CHILDREN + (pos + 1) as u64 * 8), right.0)?;
+                    tx.write_u64(node.add(OFF_NKEYS), n as u64 + 1)?;
+                    return Ok(InsertResult::Done { replaced });
+                }
+                // Split this internal node.
+                let mid = ORDER / 2; // key at mid moves up
+                let up = tx.read_u64(node.add(OFF_KEYS + mid as u64 * 8))?;
+                let rnode = tx.pmalloc(INTERNAL_BYTES)?;
+                tx.write_u64(rnode.add(OFF_TAG), 0)?;
+                let rn = n - mid - 1;
+                for (j, i) in (mid + 1..n).enumerate() {
+                    let k = tx.read_u64(node.add(OFF_KEYS + i as u64 * 8))?;
+                    tx.write_u64(rnode.add(OFF_KEYS + j as u64 * 8), k)?;
+                }
+                for (j, i) in (mid + 1..=n).enumerate() {
+                    let c = tx.read_u64(node.add(OFF_CHILDREN + i as u64 * 8))?;
+                    tx.write_u64(rnode.add(OFF_CHILDREN + j as u64 * 8), c)?;
+                }
+                tx.write_u64(rnode.add(OFF_NKEYS), rn as u64)?;
+                tx.write_u64(node.add(OFF_NKEYS), mid as u64)?;
+                // Now place (sep, right) into the proper half.
+                let (target, tpos_base) = if sep < up { (node, pos) } else { (rnode, pos - mid - 1) };
+                let tn = tx.read_u64(target.add(OFF_NKEYS))? as usize;
+                let tpos = tpos_base.min(tn);
+                for i in (tpos..tn).rev() {
+                    let k = tx.read_u64(target.add(OFF_KEYS + i as u64 * 8))?;
+                    tx.write_u64(target.add(OFF_KEYS + (i + 1) as u64 * 8), k)?;
+                }
+                for i in (tpos + 1..=tn).rev() {
+                    let c = tx.read_u64(target.add(OFF_CHILDREN + i as u64 * 8))?;
+                    tx.write_u64(target.add(OFF_CHILDREN + (i + 1) as u64 * 8), c)?;
+                }
+                tx.write_u64(target.add(OFF_KEYS + tpos as u64 * 8), sep)?;
+                tx.write_u64(target.add(OFF_CHILDREN + (tpos + 1) as u64 * 8), right.0)?;
+                tx.write_u64(target.add(OFF_NKEYS), tn as u64 + 1)?;
+                Ok(InsertResult::Split {
+                    sep: up,
+                    right: rnode,
+                    replaced,
+                })
+            }
+        }
+    }
+}
+
+impl PBPlusTree {
+    /// Opens (or creates) the named tree.
+    ///
+    /// # Errors
+    /// Propagates pstatic/transaction failures.
+    pub fn open(m: &Mnemosyne, th: &mut TxThread, name: &str) -> Result<PBPlusTree, mnemosyne::Error> {
+        let root_cell = m.pstatic(name, 8)?;
+        th.atomic(|tx| {
+            if tx.read_u64(root_cell)? == 0 {
+                let leaf = new_leaf(tx)?;
+                tx.write_u64(root_cell, leaf.0)?;
+            }
+            Ok(())
+        })?;
+        Ok(PBPlusTree { root_cell })
+    }
+
+    /// Inserts or replaces `key → value` in one durable transaction;
+    /// returns `true` if the key existed.
+    ///
+    /// # Errors
+    /// Propagates transaction/heap failures.
+    pub fn insert(&self, th: &mut TxThread, key: u64, value: &[u8]) -> Result<bool, TxError> {
+        let root_cell = self.root_cell;
+        th.atomic(|tx| {
+            let root = VAddr(tx.read_u64(root_cell)?);
+            match insert_rec(tx, root, key, value)? {
+                InsertResult::Done { replaced } => Ok(replaced),
+                InsertResult::Split { sep, right, replaced } => {
+                    let new_root = tx.pmalloc(INTERNAL_BYTES)?;
+                    tx.write_u64(new_root.add(OFF_TAG), 0)?;
+                    tx.write_u64(new_root.add(OFF_NKEYS), 1)?;
+                    tx.write_u64(new_root.add(OFF_KEYS), sep)?;
+                    tx.write_u64(new_root.add(OFF_CHILDREN), root.0)?;
+                    tx.write_u64(new_root.add(OFF_CHILDREN + 8), right.0)?;
+                    tx.write_u64(root_cell, new_root.0)?;
+                    Ok(replaced)
+                }
+            }
+        })
+    }
+
+    fn find_leaf(tx: &mut Tx<'_>, root_cell: VAddr, key: u64) -> Result<VAddr, TxAbort> {
+        let mut node = VAddr(tx.read_u64(root_cell)?);
+        loop {
+            if tx.read_u64(node.add(OFF_TAG))? == 1 {
+                return Ok(node);
+            }
+            let n = tx.read_u64(node.add(OFF_NKEYS))? as usize;
+            let keys = read_keys(tx, node, n)?;
+            let pos = keys.partition_point(|&k| k <= key);
+            node = VAddr(tx.read_u64(node.add(OFF_CHILDREN + pos as u64 * 8))?);
+        }
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    /// Propagates transaction failures.
+    pub fn get(&self, th: &mut TxThread, key: u64) -> Result<Option<Vec<u8>>, TxError> {
+        let root_cell = self.root_cell;
+        th.atomic(|tx| {
+            let leaf = Self::find_leaf(tx, root_cell, key)?;
+            let n = tx.read_u64(leaf.add(OFF_NKEYS))? as usize;
+            let keys = read_keys(tx, leaf, n)?;
+            match keys.binary_search(&key) {
+                Ok(pos) => {
+                    let blob = VAddr(tx.read_u64(leaf.add(OFF_VALS + pos as u64 * 8))?);
+                    Ok(Some(read_blob(tx, blob)?))
+                }
+                Err(_) => Ok(None),
+            }
+        })
+    }
+
+    /// Removes `key` from its leaf (lazy deletion); returns whether it
+    /// was present.
+    ///
+    /// # Errors
+    /// Propagates transaction failures.
+    pub fn remove(&self, th: &mut TxThread, key: u64) -> Result<bool, TxError> {
+        let root_cell = self.root_cell;
+        th.atomic(|tx| {
+            let leaf = Self::find_leaf(tx, root_cell, key)?;
+            let n = tx.read_u64(leaf.add(OFF_NKEYS))? as usize;
+            let keys = read_keys(tx, leaf, n)?;
+            match keys.binary_search(&key) {
+                Ok(pos) => {
+                    let blob = VAddr(tx.read_u64(leaf.add(OFF_VALS + pos as u64 * 8))?);
+                    for i in pos + 1..n {
+                        let k = tx.read_u64(leaf.add(OFF_KEYS + i as u64 * 8))?;
+                        tx.write_u64(leaf.add(OFF_KEYS + (i - 1) as u64 * 8), k)?;
+                        let v = tx.read_u64(leaf.add(OFF_VALS + i as u64 * 8))?;
+                        tx.write_u64(leaf.add(OFF_VALS + (i - 1) as u64 * 8), v)?;
+                    }
+                    tx.write_u64(leaf.add(OFF_NKEYS), n as u64 - 1)?;
+                    tx.pfree(blob);
+                    Ok(true)
+                }
+                Err(_) => Ok(false),
+            }
+        })
+    }
+
+    /// Range scan `[lo, hi]` via the leaf chain — the access pattern B+
+    /// trees exist for.
+    ///
+    /// # Errors
+    /// Propagates transaction failures.
+    pub fn range(
+        &self,
+        th: &mut TxThread,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<(u64, Vec<u8>)>, TxError> {
+        let root_cell = self.root_cell;
+        th.atomic(|tx| {
+            let mut leaf = Self::find_leaf(tx, root_cell, lo)?;
+            let mut out = Vec::new();
+            while !leaf.is_null() {
+                let n = tx.read_u64(leaf.add(OFF_NKEYS))? as usize;
+                let keys = read_keys(tx, leaf, n)?;
+                for (i, &k) in keys.iter().enumerate() {
+                    if k > hi {
+                        return Ok(out);
+                    }
+                    if k >= lo {
+                        let blob = VAddr(tx.read_u64(leaf.add(OFF_VALS + i as u64 * 8))?);
+                        out.push((k, read_blob(tx, blob)?));
+                    }
+                }
+                leaf = VAddr(tx.read_u64(leaf.add(OFF_NEXT))?);
+            }
+            Ok(out)
+        })
+    }
+
+    /// In-order key scan via the leaf chain (diagnostics / range reads).
+    ///
+    /// # Errors
+    /// Propagates transaction failures.
+    pub fn keys(&self, th: &mut TxThread) -> Result<Vec<u64>, TxError> {
+        let root_cell = self.root_cell;
+        th.atomic(|tx| {
+            // Find the leftmost leaf.
+            let mut node = VAddr(tx.read_u64(root_cell)?);
+            while tx.read_u64(node.add(OFF_TAG))? == 0 {
+                node = VAddr(tx.read_u64(node.add(OFF_CHILDREN))?);
+            }
+            let mut out = Vec::new();
+            while !node.is_null() {
+                let n = tx.read_u64(node.add(OFF_NKEYS))? as usize;
+                out.extend(read_keys(tx, node, n)?);
+                node = VAddr(tx.read_u64(node.add(OFF_NEXT))?);
+            }
+            Ok(out)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnemosyne::CrashPolicy;
+    use std::path::PathBuf;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "pds-bpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let d = dir("basic");
+        let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+        let mut th = m.register_thread().unwrap();
+        let t = PBPlusTree::open(&m, &mut th, "bpt").unwrap();
+        for i in 0..199u64 {
+            assert!(!t.insert(&mut th, i * 7 % 199, &i.to_le_bytes()).unwrap());
+        }
+        for i in 0..199u64 {
+            let k = i * 7 % 199;
+            let got = t.get(&mut th, k).unwrap();
+            assert!(got.is_some(), "missing {k}");
+        }
+        assert!(t.remove(&mut th, 0).unwrap());
+        assert!(!t.remove(&mut th, 0).unwrap());
+        assert!(t.get(&mut th, 0).unwrap().is_none());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn keys_come_back_sorted() {
+        let d = dir("sorted");
+        let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+        let mut th = m.register_thread().unwrap();
+        let t = PBPlusTree::open(&m, &mut th, "bpt").unwrap();
+        let mut x = 99u64;
+        let mut expect = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = x % 10_000;
+            t.insert(&mut th, k, b"v").unwrap();
+            expect.insert(k);
+        }
+        let keys = t.keys(&mut th).unwrap();
+        let want: Vec<u64> = expect.into_iter().collect();
+        assert_eq!(keys, want);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn replace_updates_value() {
+        let d = dir("replace");
+        let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+        let mut th = m.register_thread().unwrap();
+        let t = PBPlusTree::open(&m, &mut th, "bpt").unwrap();
+        t.insert(&mut th, 5, b"old").unwrap();
+        assert!(t.insert(&mut th, 5, b"new value").unwrap());
+        assert_eq!(t.get(&mut th, 5).unwrap().unwrap(), b"new value");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn survives_crash() {
+        let d = dir("crash");
+        let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+        {
+            let mut th = m.register_thread().unwrap();
+            let t = PBPlusTree::open(&m, &mut th, "bpt").unwrap();
+            for i in 0..300u64 {
+                t.insert(&mut th, i, &vec![(i % 251) as u8; 64]).unwrap();
+            }
+        }
+        let m2 = m.crash_reboot(CrashPolicy::random(23)).unwrap();
+        let mut th = m2.register_thread().unwrap();
+        let t = PBPlusTree::open(&m2, &mut th, "bpt").unwrap();
+        for i in 0..300u64 {
+            assert_eq!(
+                t.get(&mut th, i).unwrap().unwrap(),
+                vec![(i % 251) as u8; 64],
+                "key {i}"
+            );
+        }
+        assert_eq!(t.keys(&mut th).unwrap().len(), 300);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn range_scan_via_leaf_chain() {
+        let d = dir("range");
+        let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+        let mut th = m.register_thread().unwrap();
+        let t = PBPlusTree::open(&m, &mut th, "bpt").unwrap();
+        for i in 0..100u64 {
+            t.insert(&mut th, i * 3, &i.to_le_bytes()).unwrap();
+        }
+        let r = t.range(&mut th, 10, 40).unwrap();
+        let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![12, 15, 18, 21, 24, 27, 30, 33, 36, 39]);
+        // Values travel with their keys.
+        assert_eq!(r[0].1, (4u64).to_le_bytes());
+        // Empty and full ranges.
+        assert!(t.range(&mut th, 1000, 2000).unwrap().is_empty());
+        assert_eq!(t.range(&mut th, 0, u64::MAX).unwrap().len(), 100);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn large_values() {
+        let d = dir("large");
+        let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+        let mut th = m.register_thread().unwrap();
+        let t = PBPlusTree::open(&m, &mut th, "bpt").unwrap();
+        let big: Vec<u8> = (0..2048).map(|i| (i % 256) as u8).collect();
+        t.insert(&mut th, 1, &big).unwrap();
+        assert_eq!(t.get(&mut th, 1).unwrap().unwrap(), big);
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

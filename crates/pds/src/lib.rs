@@ -1,0 +1,35 @@
+//! Persistent data structures over Mnemosyne durable transactions.
+//!
+//! The paper's message (§8) is that "common in-memory data structures can
+//! be made persistent using durable transactions" — no translation to an
+//! update-optimized on-disk format. This crate provides the structures
+//! the evaluation uses:
+//!
+//! * [`PHashTable`] — a chained hash table modelled on Christopher
+//!   Clark's C hashtable, the §6.3 microbenchmark workload (Figures 4, 5
+//!   and 7);
+//! * [`PAvlTree`] — an AVL tree, the OpenLDAP entry-cache structure that
+//!   `back-mnemosyne` persists (§6.2, Table 4);
+//! * [`PBPlusTree`] — a B+ tree, Tokyo Cabinet's structure (§6.2,
+//!   Table 4);
+//! * [`PRbTree`] — a red-black tree with 128-byte nodes, the Table 5
+//!   workload;
+//! * [`serial`] — the Boost-serialization stand-in: a volatile ordered
+//!   tree archived to a PCM-disk file (Table 5's baseline).
+//!
+//! Every structure stores plain pointers (`VAddr` words) in persistent
+//! nodes allocated with `pmalloc`, and wraps each mutation in one durable
+//! transaction, exactly as the converted applications in §6.2 do.
+
+#![warn(missing_docs)]
+
+pub mod avl;
+pub mod bptree;
+pub mod phash;
+pub mod rbtree;
+pub mod serial;
+
+pub use avl::PAvlTree;
+pub use bptree::PBPlusTree;
+pub use phash::PHashTable;
+pub use rbtree::PRbTree;

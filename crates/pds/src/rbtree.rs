@@ -1,0 +1,370 @@
+//! A persistent red-black tree with 128-byte nodes (Table 5's workload).
+//!
+//! §6.3 "compares the cost of maintaining a red-black tree with 128
+//! byte nodes in persistent memory against the cost of keeping it in DRAM
+//! and periodically serializing it". Nodes are exactly 128 bytes:
+//!
+//! ```text
+//! [left][right][parent][color][key u64][payload 88 B]   = 128 bytes
+//! ```
+//!
+//! Insertion is the classic CLRS algorithm (BST insert + recolouring /
+//! rotation fix-up), run entirely inside one durable transaction.
+
+use mnemosyne::{Mnemosyne, Tx, TxAbort, TxError, TxThread, VAddr};
+
+/// Total node size — the paper's 128-byte node.
+pub const NODE_BYTES: u64 = 128;
+
+/// Payload bytes available per node.
+pub const PAYLOAD_BYTES: usize = 88;
+
+const OFF_LEFT: u64 = 0;
+const OFF_RIGHT: u64 = 8;
+const OFF_PARENT: u64 = 16;
+const OFF_COLOR: u64 = 24;
+const OFF_KEY: u64 = 32;
+const OFF_PAYLOAD: u64 = 40;
+
+const RED: u64 = 1;
+const BLACK: u64 = 0;
+
+/// Handle to a persistent red-black tree.
+#[derive(Debug, Clone, Copy)]
+pub struct PRbTree {
+    root_cell: VAddr,
+}
+
+fn left(tx: &mut Tx<'_>, n: VAddr) -> Result<VAddr, TxAbort> {
+    Ok(VAddr(tx.read_u64(n.add(OFF_LEFT))?))
+}
+fn right(tx: &mut Tx<'_>, n: VAddr) -> Result<VAddr, TxAbort> {
+    Ok(VAddr(tx.read_u64(n.add(OFF_RIGHT))?))
+}
+fn parent(tx: &mut Tx<'_>, n: VAddr) -> Result<VAddr, TxAbort> {
+    Ok(VAddr(tx.read_u64(n.add(OFF_PARENT))?))
+}
+fn color(tx: &mut Tx<'_>, n: VAddr) -> Result<u64, TxAbort> {
+    if n.is_null() {
+        return Ok(BLACK); // nil nodes are black
+    }
+    tx.read_u64(n.add(OFF_COLOR))
+}
+fn set_color(tx: &mut Tx<'_>, n: VAddr, c: u64) -> Result<(), TxAbort> {
+    tx.write_u64(n.add(OFF_COLOR), c)
+}
+
+/// Replaces `old`'s position under its parent with `new` (possibly null).
+fn replace_child(
+    tx: &mut Tx<'_>,
+    root_cell: VAddr,
+    old: VAddr,
+    new: VAddr,
+) -> Result<(), TxAbort> {
+    let p = parent(tx, old)?;
+    if p.is_null() {
+        tx.write_u64(root_cell, new.0)?;
+    } else if left(tx, p)? == old {
+        tx.write_u64(p.add(OFF_LEFT), new.0)?;
+    } else {
+        tx.write_u64(p.add(OFF_RIGHT), new.0)?;
+    }
+    if !new.is_null() {
+        tx.write_u64(new.add(OFF_PARENT), p.0)?;
+    }
+    Ok(())
+}
+
+fn rotate_left(tx: &mut Tx<'_>, root_cell: VAddr, x: VAddr) -> Result<(), TxAbort> {
+    let y = right(tx, x)?;
+    let yl = left(tx, y)?;
+    tx.write_u64(x.add(OFF_RIGHT), yl.0)?;
+    if !yl.is_null() {
+        tx.write_u64(yl.add(OFF_PARENT), x.0)?;
+    }
+    replace_child(tx, root_cell, x, y)?;
+    tx.write_u64(y.add(OFF_LEFT), x.0)?;
+    tx.write_u64(x.add(OFF_PARENT), y.0)?;
+    Ok(())
+}
+
+fn rotate_right(tx: &mut Tx<'_>, root_cell: VAddr, x: VAddr) -> Result<(), TxAbort> {
+    let y = left(tx, x)?;
+    let yr = right(tx, y)?;
+    tx.write_u64(x.add(OFF_LEFT), yr.0)?;
+    if !yr.is_null() {
+        tx.write_u64(yr.add(OFF_PARENT), x.0)?;
+    }
+    replace_child(tx, root_cell, x, y)?;
+    tx.write_u64(y.add(OFF_RIGHT), x.0)?;
+    tx.write_u64(x.add(OFF_PARENT), y.0)?;
+    Ok(())
+}
+
+/// CLRS RB-INSERT-FIXUP.
+fn fixup(tx: &mut Tx<'_>, root_cell: VAddr, mut z: VAddr) -> Result<(), TxAbort> {
+    loop {
+        let p = parent(tx, z)?;
+        if p.is_null() || color(tx, p)? == BLACK {
+            break;
+        }
+        let g = parent(tx, p)?; // grandparent exists: parent is red, root is black
+        if p == left(tx, g)? {
+            let uncle = right(tx, g)?;
+            if color(tx, uncle)? == RED {
+                set_color(tx, p, BLACK)?;
+                set_color(tx, uncle, BLACK)?;
+                set_color(tx, g, RED)?;
+                z = g;
+            } else {
+                if z == right(tx, p)? {
+                    z = p;
+                    rotate_left(tx, root_cell, z)?;
+                }
+                let p = parent(tx, z)?;
+                let g = parent(tx, p)?;
+                set_color(tx, p, BLACK)?;
+                set_color(tx, g, RED)?;
+                rotate_right(tx, root_cell, g)?;
+            }
+        } else {
+            let uncle = left(tx, g)?;
+            if color(tx, uncle)? == RED {
+                set_color(tx, p, BLACK)?;
+                set_color(tx, uncle, BLACK)?;
+                set_color(tx, g, RED)?;
+                z = g;
+            } else {
+                if z == left(tx, p)? {
+                    z = p;
+                    rotate_right(tx, root_cell, z)?;
+                }
+                let p = parent(tx, z)?;
+                let g = parent(tx, p)?;
+                set_color(tx, p, BLACK)?;
+                set_color(tx, g, RED)?;
+                rotate_left(tx, root_cell, g)?;
+            }
+        }
+    }
+    let root = VAddr(tx.read_u64(root_cell)?);
+    set_color(tx, root, BLACK)?;
+    Ok(())
+}
+
+impl PRbTree {
+    /// Opens (or creates) the named tree.
+    ///
+    /// # Errors
+    /// Propagates pstatic failures.
+    pub fn open(m: &Mnemosyne, name: &str) -> Result<PRbTree, mnemosyne::Error> {
+        Ok(PRbTree {
+            root_cell: m.pstatic(name, 8)?,
+        })
+    }
+
+    /// Inserts or replaces `key` with up to [`PAYLOAD_BYTES`] of payload,
+    /// in one durable transaction. Returns `true` if the key was new.
+    ///
+    /// # Errors
+    /// Propagates transaction/heap failures.
+    ///
+    /// # Panics
+    /// Panics if `payload` exceeds [`PAYLOAD_BYTES`].
+    pub fn insert(&self, th: &mut TxThread, key: u64, payload: &[u8]) -> Result<bool, TxError> {
+        assert!(payload.len() <= PAYLOAD_BYTES, "payload exceeds node size");
+        let root_cell = self.root_cell;
+        th.atomic(|tx| {
+            // BST descent.
+            let mut p = VAddr::NULL;
+            let mut cur = VAddr(tx.read_u64(root_cell)?);
+            let mut went_left = false;
+            while !cur.is_null() {
+                let k = tx.read_u64(cur.add(OFF_KEY))?;
+                if key == k {
+                    tx.write_bytes(cur.add(OFF_PAYLOAD), payload)?;
+                    return Ok(false);
+                }
+                p = cur;
+                went_left = key < k;
+                cur = if went_left { left(tx, cur)? } else { right(tx, cur)? };
+            }
+            let z = tx.pmalloc(NODE_BYTES)?;
+            tx.write_u64(z.add(OFF_LEFT), 0)?;
+            tx.write_u64(z.add(OFF_RIGHT), 0)?;
+            tx.write_u64(z.add(OFF_PARENT), p.0)?;
+            tx.write_u64(z.add(OFF_COLOR), RED)?;
+            tx.write_u64(z.add(OFF_KEY), key)?;
+            tx.write_bytes(z.add(OFF_PAYLOAD), payload)?;
+            if p.is_null() {
+                tx.write_u64(root_cell, z.0)?;
+            } else if went_left {
+                tx.write_u64(p.add(OFF_LEFT), z.0)?;
+            } else {
+                tx.write_u64(p.add(OFF_RIGHT), z.0)?;
+            }
+            fixup(tx, root_cell, z)?;
+            Ok(true)
+        })
+    }
+
+    /// Looks up `key`, returning its payload.
+    ///
+    /// # Errors
+    /// Propagates transaction failures.
+    pub fn get(&self, th: &mut TxThread, key: u64) -> Result<Option<Vec<u8>>, TxError> {
+        let root_cell = self.root_cell;
+        th.atomic(|tx| {
+            let mut cur = VAddr(tx.read_u64(root_cell)?);
+            while !cur.is_null() {
+                let k = tx.read_u64(cur.add(OFF_KEY))?;
+                if key == k {
+                    let mut v = vec![0u8; PAYLOAD_BYTES];
+                    tx.read_bytes(cur.add(OFF_PAYLOAD), &mut v)?;
+                    return Ok(Some(v));
+                }
+                cur = if key < k { left(tx, cur)? } else { right(tx, cur)? };
+            }
+            Ok(None)
+        })
+    }
+
+    /// Verifies the red-black invariants (root black, no red-red edge,
+    /// equal black heights, BST order); returns the node count.
+    ///
+    /// # Errors
+    /// Propagates transaction failures.
+    ///
+    /// # Panics
+    /// Panics if an invariant is violated (test helper).
+    pub fn check_invariants(&self, th: &mut TxThread) -> Result<u64, TxError> {
+        let root_cell = self.root_cell;
+        th.atomic(|tx| {
+            fn walk(
+                tx: &mut Tx<'_>,
+                n: VAddr,
+                lo: Option<u64>,
+                hi: Option<u64>,
+            ) -> Result<(u64, u64), TxAbort> {
+                if n.is_null() {
+                    return Ok((1, 0)); // black height of nil, count
+                }
+                let k = tx.read_u64(n.add(OFF_KEY))?;
+                if let Some(lo) = lo {
+                    assert!(k > lo, "BST order violated");
+                }
+                if let Some(hi) = hi {
+                    assert!(k < hi, "BST order violated");
+                }
+                let c = color(tx, n)?;
+                let l = left(tx, n)?;
+                let r = right(tx, n)?;
+                if c == RED {
+                    assert_eq!(color(tx, l)?, BLACK, "red-red edge");
+                    assert_eq!(color(tx, r)?, BLACK, "red-red edge");
+                }
+                // Parent pointers consistent.
+                if !l.is_null() {
+                    assert_eq!(parent(tx, l)?, n, "left parent pointer stale");
+                }
+                if !r.is_null() {
+                    assert_eq!(parent(tx, r)?, n, "right parent pointer stale");
+                }
+                let (lb, ln) = walk(tx, l, lo, Some(k))?;
+                let (rb, rn) = walk(tx, r, Some(k), hi)?;
+                assert_eq!(lb, rb, "black height mismatch at key {k}");
+                Ok((lb + u64::from(c == BLACK), 1 + ln + rn))
+            }
+            let root = VAddr(tx.read_u64(root_cell)?);
+            if root.is_null() {
+                return Ok(0);
+            }
+            assert_eq!(color(tx, root)?, BLACK, "root must be black");
+            let (_, n) = walk(tx, root, None, None)?;
+            Ok(n)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnemosyne::CrashPolicy;
+    use std::path::PathBuf;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "pds-rbt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn sequential_inserts_keep_invariants() {
+        let d = dir("seq");
+        let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+        let mut th = m.register_thread().unwrap();
+        let t = PRbTree::open(&m, "rbt").unwrap();
+        for i in 0..500u64 {
+            assert!(t.insert(&mut th, i, &i.to_le_bytes()).unwrap());
+        }
+        assert_eq!(t.check_invariants(&mut th).unwrap(), 500);
+        for i in 0..500u64 {
+            let v = t.get(&mut th, i).unwrap().unwrap();
+            assert_eq!(&v[..8], &i.to_le_bytes());
+        }
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn random_inserts_keep_invariants() {
+        let d = dir("rand");
+        let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+        let mut th = m.register_thread().unwrap();
+        let t = PRbTree::open(&m, "rbt").unwrap();
+        let mut x = 7u64;
+        let mut n = 0;
+        for _ in 0..400 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if t.insert(&mut th, x % 1000, b"p").unwrap() {
+                n += 1;
+            }
+        }
+        assert_eq!(t.check_invariants(&mut th).unwrap(), n);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn replace_does_not_grow() {
+        let d = dir("repl");
+        let m = Mnemosyne::builder(&d).scm_size(32 << 20).open().unwrap();
+        let mut th = m.register_thread().unwrap();
+        let t = PRbTree::open(&m, "rbt").unwrap();
+        t.insert(&mut th, 9, b"first").unwrap();
+        assert!(!t.insert(&mut th, 9, b"second").unwrap());
+        assert_eq!(t.check_invariants(&mut th).unwrap(), 1);
+        assert_eq!(&t.get(&mut th, 9).unwrap().unwrap()[..6], b"second");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn survives_crash_with_invariants() {
+        let d = dir("crash");
+        let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+        {
+            let mut th = m.register_thread().unwrap();
+            let t = PRbTree::open(&m, "rbt").unwrap();
+            for i in 0..300u64 {
+                t.insert(&mut th, i * 37 % 1009, &[i as u8; 16]).unwrap();
+            }
+        }
+        let m2 = m.crash_reboot(CrashPolicy::random(31)).unwrap();
+        let mut th = m2.register_thread().unwrap();
+        let t = PRbTree::open(&m2, "rbt").unwrap();
+        assert_eq!(t.check_invariants(&mut th).unwrap(), 300);
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

@@ -1,0 +1,152 @@
+//! The serialization baseline of Table 5 (Boost stand-in).
+//!
+//! "An alternative approach … is to serialize the data into a buffer and
+//! write it to a file. For example, productivity applications including
+//! word processors use this approach for periodic fast saves" (§6.3).
+//!
+//! The paper keeps a red-black tree in DRAM and periodically serializes
+//! it with Boost onto PCM-disk. Here the volatile ordered tree is
+//! `std::collections::BTreeMap` (a balanced ordered tree; the archive
+//! cost — an O(n) node walk plus a sequential file write and fsync — is
+//! identical in shape) and the archive format is a Boost-like
+//! length-prefixed record stream.
+
+use std::collections::BTreeMap;
+
+use pcmdisk::{FsError, SimpleFs};
+
+/// A volatile ordered tree of fixed-payload nodes, mirroring the Table 5
+/// DRAM-side structure.
+#[derive(Debug, Default, Clone)]
+pub struct VolatileTree {
+    map: BTreeMap<u64, Vec<u8>>,
+}
+
+impl VolatileTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces a node.
+    pub fn insert(&mut self, key: u64, payload: Vec<u8>) {
+        self.map.insert(key, payload);
+    }
+
+    /// Looks up a node.
+    pub fn get(&self, key: u64) -> Option<&Vec<u8>> {
+        self.map.get(&key)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Serializes the whole tree to `file` on `fs` (creating or
+    /// overwriting) and forces it to the device — one "fast save".
+    /// Returns the archive size in bytes.
+    ///
+    /// # Errors
+    /// Propagates file-system errors.
+    pub fn archive(&self, fs: &SimpleFs, file: &str) -> Result<u64, FsError> {
+        // Walk the tree into a Boost-like archive: header + records.
+        let mut buf = Vec::with_capacity(self.map.len() * 96 + 16);
+        buf.extend_from_slice(b"BOOSTISH");
+        buf.extend_from_slice(&(self.map.len() as u64).to_le_bytes());
+        for (k, v) in &self.map {
+            buf.extend_from_slice(&k.to_le_bytes());
+            buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            buf.extend_from_slice(v);
+        }
+        if !fs.exists(file) {
+            fs.create(file)?;
+        }
+        fs.truncate(file, 0)?;
+        fs.pwrite(file, 0, &buf)?;
+        fs.fsync(file)?;
+        Ok(buf.len() as u64)
+    }
+
+    /// Restores a tree from an archive written by
+    /// [`VolatileTree::archive`].
+    ///
+    /// # Errors
+    /// Propagates file-system errors; fails on a corrupt archive.
+    pub fn restore(fs: &SimpleFs, file: &str) -> Result<VolatileTree, FsError> {
+        let size = fs.size(file)?;
+        let mut buf = vec![0u8; size as usize];
+        let n = fs.pread(file, 0, &mut buf)?;
+        buf.truncate(n);
+        if buf.len() < 16 || &buf[0..8] != b"BOOSTISH" {
+            return Err(FsError::Corrupt("bad archive header"));
+        }
+        let count = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+        let mut map = BTreeMap::new();
+        let mut off = 16usize;
+        for _ in 0..count {
+            if off + 12 > buf.len() {
+                return Err(FsError::Corrupt("truncated archive"));
+            }
+            let k = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+            let vlen = u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap()) as usize;
+            off += 12;
+            if off + vlen > buf.len() {
+                return Err(FsError::Corrupt("truncated archive record"));
+            }
+            map.insert(k, buf[off..off + vlen].to_vec());
+            off += vlen;
+        }
+        Ok(VolatileTree { map })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmdisk::{DiskConfig, PcmDisk};
+    use std::sync::Arc;
+
+    fn fs() -> SimpleFs {
+        SimpleFs::format(Arc::new(PcmDisk::new(DiskConfig::for_testing(16384)))).unwrap()
+    }
+
+    #[test]
+    fn archive_restore_roundtrip() {
+        let fs = fs();
+        let mut t = VolatileTree::new();
+        for i in 0..1000u64 {
+            t.insert(i, vec![(i % 256) as u8; 88]);
+        }
+        let bytes = t.archive(&fs, "tree.arc").unwrap();
+        assert!(bytes > 1000 * 88);
+        let back = VolatileTree::restore(&fs, "tree.arc").unwrap();
+        assert_eq!(back.len(), 1000);
+        assert_eq!(back.get(999).unwrap(), t.get(999).unwrap());
+    }
+
+    #[test]
+    fn rearchive_overwrites() {
+        let fs = fs();
+        let mut t = VolatileTree::new();
+        t.insert(1, b"one".to_vec());
+        t.archive(&fs, "a").unwrap();
+        t.insert(2, b"two".to_vec());
+        t.archive(&fs, "a").unwrap();
+        let back = VolatileTree::restore(&fs, "a").unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn corrupt_archive_detected() {
+        let fs = fs();
+        fs.create("bad").unwrap();
+        fs.pwrite("bad", 0, b"NOTBOOST00000000").unwrap();
+        assert!(VolatileTree::restore(&fs, "bad").is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Heap error type.
+
+use std::fmt;
+
+use mnemosyne_rawl::LogError;
+use mnemosyne_region::{RegionError, VAddr};
+
+/// Errors from persistent-heap operations.
+#[derive(Debug)]
+pub enum HeapError {
+    /// No block of the requested size can be carved out.
+    OutOfMemory {
+        /// Requested bytes.
+        requested: u64,
+    },
+    /// The pointer cell does not reference a live heap block (double free,
+    /// never allocated, or foreign address).
+    BadPointer(VAddr),
+    /// The destination cell for `pmalloc` must be a persistent address.
+    VolatileCell(VAddr),
+    /// The heap region is corrupt (bad magic or inconsistent chunk chain).
+    Corrupt(&'static str),
+    /// Underlying region failure.
+    Region(RegionError),
+    /// Underlying allocator-log failure.
+    Log(LogError),
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::OutOfMemory { requested } => {
+                write!(f, "out of persistent heap memory (requested {requested} bytes)")
+            }
+            HeapError::BadPointer(a) => write!(f, "not a live heap block: {a}"),
+            HeapError::VolatileCell(a) => {
+                write!(f, "pmalloc destination cell must be persistent, got {a}")
+            }
+            HeapError::Corrupt(what) => write!(f, "corrupt heap: {what}"),
+            HeapError::Region(e) => write!(f, "region error: {e}"),
+            HeapError::Log(e) => write!(f, "allocator log error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HeapError::Region(e) => Some(e),
+            HeapError::Log(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RegionError> for HeapError {
+    fn from(e: RegionError) -> Self {
+        HeapError::Region(e)
+    }
+}
+
+impl From<LogError> for HeapError {
+    fn from(e: LogError) -> Self {
+        HeapError::Log(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = HeapError::OutOfMemory { requested: 128 };
+        assert!(e.to_string().contains("128"));
+    }
+}

@@ -1,0 +1,360 @@
+//! Hoard-derived superblock allocator for blocks ≤ 4 KB (§4.3).
+//!
+//! The small-object area is split into 8 KB superblocks. Each superblock,
+//! once assigned to a size class, holds `8192 / block_size` equal blocks.
+//! Persistent state per superblock is just its block size and a bitmap
+//! vector of allocated blocks, kept in a *metadata area separated from the
+//! data* to reduce corruption risk. Everything else (per-class lists,
+//! free counts, bitmap mirrors) is volatile and rebuilt by
+//! [`SmallAlloc::scavenge`] when the program starts.
+//!
+//! Mutations are returned as `(address, value)` word-write lists; the heap
+//! front end logs them (together with the caller's pointer-cell write) and
+//! applies them durably, making each operation atomic.
+
+use mnemosyne_region::{PMem, VAddr};
+
+use crate::error::HeapError;
+use crate::SMALL_MAX;
+use crate::SUPERBLOCK_BYTES;
+
+/// Number of size classes: 8, 16, …, 4096 bytes.
+pub const NCLASSES: usize = 10;
+
+/// Bitmap words per superblock (8192 blocks of 8 B ⇒ 1024 bits ⇒ 16 words).
+const BITMAP_WORDS: usize = 16;
+
+/// Stride of one metadata entry: block-size word + bitmap vector, rounded
+/// up to a multiple of the cache line so entries never share lines.
+const META_STRIDE: u64 = 192;
+
+/// Size class index for a request (8 B minimum).
+pub fn class_of(size: u64) -> Option<usize> {
+    if size > SMALL_MAX {
+        return None;
+    }
+    let sz = size.max(8).next_power_of_two();
+    Some(sz.trailing_zeros() as usize - 3)
+}
+
+/// Block size of a class.
+#[inline]
+pub fn class_size(class: usize) -> u64 {
+    8 << class
+}
+
+/// One pending durable word write.
+pub type WordWrite = (VAddr, u64);
+
+/// Volatile view of the small-object area.
+#[derive(Debug)]
+pub struct SmallAlloc {
+    meta_base: VAddr,
+    sbs_base: VAddr,
+    n_superblocks: u32,
+    /// Class + 1 per superblock; 0 = unassigned.
+    sb_class: Vec<u8>,
+    /// Free blocks per superblock.
+    free_count: Vec<u32>,
+    /// Volatile mirror of the persistent bitmaps.
+    bitmaps: Vec<[u64; BITMAP_WORDS]>,
+    /// Superblocks with free space, per class.
+    class_lists: Vec<Vec<u32>>,
+    /// Unassigned superblocks.
+    unassigned: Vec<u32>,
+}
+
+impl SmallAlloc {
+    /// Lays out the small area over `[base, base+len)`: metadata first,
+    /// superblocks after (page aligned).
+    pub fn new(base: VAddr, len: u64) -> SmallAlloc {
+        // n metadata entries + n superblocks must fit.
+        let mut n = len / (SUPERBLOCK_BYTES + META_STRIDE);
+        loop {
+            let meta_bytes = (n * META_STRIDE).div_ceil(4096) * 4096;
+            if meta_bytes + n * SUPERBLOCK_BYTES <= len {
+                break;
+            }
+            n -= 1;
+        }
+        let meta_bytes = (n * META_STRIDE).div_ceil(4096) * 4096;
+        SmallAlloc {
+            meta_base: base,
+            sbs_base: base.add(meta_bytes),
+            n_superblocks: n as u32,
+            sb_class: vec![0; n as usize],
+            free_count: vec![0; n as usize],
+            bitmaps: vec![[0; BITMAP_WORDS]; n as usize],
+            class_lists: vec![Vec::new(); NCLASSES],
+            unassigned: (0..n as u32).rev().collect(),
+        }
+    }
+
+    /// Number of superblocks managed.
+    pub fn superblocks(&self) -> u32 {
+        self.n_superblocks
+    }
+
+    fn meta_addr(&self, sb: u32) -> VAddr {
+        self.meta_base.add(sb as u64 * META_STRIDE)
+    }
+
+    fn bitmap_word_addr(&self, sb: u32, widx: usize) -> VAddr {
+        self.meta_addr(sb).add(8 + widx as u64 * 8)
+    }
+
+    fn sb_addr(&self, sb: u32) -> VAddr {
+        self.sbs_base.add(sb as u64 * SUPERBLOCK_BYTES)
+    }
+
+    /// Whether `addr` lies in the superblock data area.
+    pub fn contains(&self, addr: VAddr) -> bool {
+        addr >= self.sbs_base
+            && addr < self.sbs_base.add(self.n_superblocks as u64 * SUPERBLOCK_BYTES)
+    }
+
+    /// Rebuilds the volatile indexes from the persistent metadata — the
+    /// startup scavenge of §4.3 whose cost §6.3.2 measures.
+    pub fn scavenge(&mut self, pmem: &PMem) {
+        for list in &mut self.class_lists {
+            list.clear();
+        }
+        self.unassigned.clear();
+        for sb in (0..self.n_superblocks).rev() {
+            let bs = pmem.read_u64(self.meta_addr(sb));
+            if bs == 0 {
+                self.sb_class[sb as usize] = 0;
+                self.free_count[sb as usize] = 0;
+                self.bitmaps[sb as usize] = [0; BITMAP_WORDS];
+                self.unassigned.push(sb);
+                continue;
+            }
+            let class = match class_of(bs) {
+                Some(c) if class_size(c) == bs => c,
+                _ => {
+                    // Unknown block size: treat as unassigned-but-skip to
+                    // stay safe (do not allocate from it).
+                    self.sb_class[sb as usize] = 0;
+                    self.free_count[sb as usize] = 0;
+                    continue;
+                }
+            };
+            let blocks = (SUPERBLOCK_BYTES / bs) as u32;
+            let mut bm = [0u64; BITMAP_WORDS];
+            let mut used = 0;
+            for (w, slot) in bm.iter_mut().enumerate() {
+                *slot = pmem.read_u64(self.bitmap_word_addr(sb, w));
+                used += slot.count_ones();
+            }
+            self.sb_class[sb as usize] = class as u8 + 1;
+            self.bitmaps[sb as usize] = bm;
+            self.free_count[sb as usize] = blocks - used;
+            if blocks > used {
+                self.class_lists[class].push(sb);
+            }
+        }
+    }
+
+    /// Allocates one block of size class `class`. Returns the block
+    /// address and the durable writes that commit the allocation (the
+    /// superblock's block-size word if freshly assigned, plus the bitmap
+    /// word). Volatile state is updated immediately.
+    pub fn alloc(&mut self, class: usize, writes: &mut Vec<WordWrite>) -> Option<VAddr> {
+        let bs = class_size(class);
+        let blocks = (SUPERBLOCK_BYTES / bs) as u32;
+        // Find a superblock with space, dropping exhausted ones lazily.
+        let sb = loop {
+            match self.class_lists[class].last().copied() {
+                Some(sb) if self.free_count[sb as usize] > 0 => break Some(sb),
+                Some(_) => {
+                    self.class_lists[class].pop();
+                }
+                None => break None,
+            }
+        };
+        let sb = match sb {
+            Some(sb) => sb,
+            None => {
+                // Assign a fresh superblock to this class.
+                let sb = self.unassigned.pop()?;
+                self.sb_class[sb as usize] = class as u8 + 1;
+                self.free_count[sb as usize] = blocks;
+                self.bitmaps[sb as usize] = [0; BITMAP_WORDS];
+                self.class_lists[class].push(sb);
+                writes.push((self.meta_addr(sb), bs));
+                sb
+            }
+        };
+        // Find a clear bit.
+        for widx in 0..BITMAP_WORDS.min(blocks.div_ceil(64) as usize) {
+            let word = self.bitmaps[sb as usize][widx];
+            if word == u64::MAX {
+                continue;
+            }
+            let bit = (!word).trailing_zeros();
+            let idx = widx as u32 * 64 + bit;
+            if idx >= blocks {
+                break;
+            }
+            let new_word = word | (1 << bit);
+            self.bitmaps[sb as usize][widx] = new_word;
+            self.free_count[sb as usize] -= 1;
+            writes.push((self.bitmap_word_addr(sb, widx), new_word));
+            return Some(self.sb_addr(sb).add(idx as u64 * bs));
+        }
+        // Inconsistent free count; repair and fail this superblock.
+        self.free_count[sb as usize] = 0;
+        None
+    }
+
+    /// Frees the block at `addr`, returning the durable writes (bitmap
+    /// word, plus the block-size word reset to 0 if the superblock becomes
+    /// empty and is returned to the unassigned pool).
+    ///
+    /// # Errors
+    /// [`HeapError::BadPointer`] for misaligned, unallocated, or foreign
+    /// addresses.
+    pub fn free(&mut self, addr: VAddr, writes: &mut Vec<WordWrite>) -> Result<(), HeapError> {
+        if !self.contains(addr) {
+            return Err(HeapError::BadPointer(addr));
+        }
+        let sb = (addr.offset_from(self.sbs_base) / SUPERBLOCK_BYTES) as u32;
+        let class = match self.sb_class[sb as usize] {
+            0 => return Err(HeapError::BadPointer(addr)),
+            c => (c - 1) as usize,
+        };
+        let bs = class_size(class);
+        let off = addr.offset_from(self.sb_addr(sb));
+        if off % bs != 0 {
+            return Err(HeapError::BadPointer(addr));
+        }
+        let idx = (off / bs) as u32;
+        let widx = (idx / 64) as usize;
+        let bit = 1u64 << (idx % 64);
+        if self.bitmaps[sb as usize][widx] & bit == 0 {
+            return Err(HeapError::BadPointer(addr)); // double free
+        }
+        self.bitmaps[sb as usize][widx] &= !bit;
+        self.free_count[sb as usize] += 1;
+        writes.push((self.bitmap_word_addr(sb, widx), self.bitmaps[sb as usize][widx]));
+        let blocks = (SUPERBLOCK_BYTES / bs) as u32;
+        if self.free_count[sb as usize] == blocks {
+            // Fully empty: return to the unassigned pool for any class.
+            self.sb_class[sb as usize] = 0;
+            self.free_count[sb as usize] = 0;
+            self.class_lists[class].retain(|&s| s != sb);
+            self.unassigned.push(sb);
+            writes.push((self.meta_addr(sb), 0));
+        } else if self.free_count[sb as usize] == 1 {
+            // Was full; make it findable again.
+            self.class_lists[class].push(sb);
+        }
+        Ok(())
+    }
+
+    /// Block size of the allocation at `addr`, if it is a live block.
+    pub fn usable_size(&self, addr: VAddr) -> Option<u64> {
+        if !self.contains(addr) {
+            return None;
+        }
+        let sb = (addr.offset_from(self.sbs_base) / SUPERBLOCK_BYTES) as u32;
+        match self.sb_class[sb as usize] {
+            0 => None,
+            c => {
+                let bs = class_size((c - 1) as usize);
+                let off = addr.offset_from(self.sb_addr(sb));
+                if off % bs != 0 {
+                    return None;
+                }
+                let idx = (off / bs) as u32;
+                let set = self.bitmaps[sb as usize][(idx / 64) as usize] & (1 << (idx % 64));
+                (set != 0).then_some(bs)
+            }
+        }
+    }
+
+    /// Total free blocks across all assigned superblocks (diagnostics).
+    pub fn free_blocks(&self) -> u64 {
+        self.free_count.iter().map(|&c| c as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_mapping() {
+        assert_eq!(class_of(1), Some(0));
+        assert_eq!(class_of(8), Some(0));
+        assert_eq!(class_of(9), Some(1));
+        assert_eq!(class_of(4096), Some(9));
+        assert_eq!(class_of(4097), None);
+        assert_eq!(class_size(0), 8);
+        assert_eq!(class_size(9), 4096);
+    }
+
+    #[test]
+    fn layout_fits() {
+        let base = VAddr(0x1000_0000_0000);
+        let s = SmallAlloc::new(base, 1 << 20);
+        assert!(s.superblocks() >= 120, "1 MB should hold ~125 superblocks");
+        assert!(s.sbs_base.0 >= base.0);
+    }
+
+    #[test]
+    fn alloc_free_cycle_volatile_side() {
+        let base = VAddr(0x1000_0000_0000);
+        let mut s = SmallAlloc::new(base, 1 << 20);
+        let mut w = Vec::new();
+        let a = s.alloc(0, &mut w).unwrap();
+        // Fresh superblock: block-size write + bitmap write.
+        assert_eq!(w.len(), 2);
+        let b = s.alloc(0, &mut w).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(s.usable_size(a), Some(8));
+        w.clear();
+        s.free(a, &mut w).unwrap();
+        assert_eq!(s.usable_size(a), None);
+        assert!(matches!(s.free(a, &mut w), Err(HeapError::BadPointer(_))));
+    }
+
+    #[test]
+    fn distinct_addresses_until_full_superblock() {
+        let base = VAddr(0x1000_0000_0000);
+        let mut s = SmallAlloc::new(base, 64 << 10);
+        let mut seen = std::collections::HashSet::new();
+        let mut w = Vec::new();
+        for _ in 0..1024 {
+            let a = s.alloc(0, &mut w).unwrap();
+            assert!(seen.insert(a), "duplicate address {a}");
+        }
+    }
+
+    #[test]
+    fn empty_superblock_returns_to_pool() {
+        let base = VAddr(0x1000_0000_0000);
+        let mut s = SmallAlloc::new(base, 64 << 10);
+        let before = s.unassigned.len();
+        let mut w = Vec::new();
+        let a = s.alloc(5, &mut w).unwrap(); // 256-byte class
+        assert_eq!(s.unassigned.len(), before - 1);
+        w.clear();
+        s.free(a, &mut w).unwrap();
+        assert_eq!(s.unassigned.len(), before);
+        // The block-size reset write is included.
+        assert!(w.iter().any(|&(_, v)| v == 0));
+    }
+
+    #[test]
+    fn misaligned_free_rejected() {
+        let base = VAddr(0x1000_0000_0000);
+        let mut s = SmallAlloc::new(base, 64 << 10);
+        let mut w = Vec::new();
+        let a = s.alloc(5, &mut w).unwrap();
+        assert!(matches!(
+            s.free(a.add(7), &mut w),
+            Err(HeapError::BadPointer(_))
+        ));
+    }
+}

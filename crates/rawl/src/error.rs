@@ -1,0 +1,55 @@
+//! Log error type.
+
+use std::fmt;
+
+/// Errors from RAWL operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogError {
+    /// Not enough free space for the record; truncate (or wait for the
+    /// asynchronous truncator) and retry.
+    Full {
+        /// Words the append needs.
+        needed: u64,
+        /// Words currently free.
+        free: u64,
+    },
+    /// The log region header is corrupt or has the wrong magic.
+    BadHeader,
+    /// The requested capacity is too small or not supported.
+    BadCapacity(u64),
+    /// A record exceeds the log capacity and can never be appended.
+    RecordTooLarge {
+        /// Words the record would occupy.
+        needed: u64,
+        /// Total capacity in words.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Full { needed, free } => {
+                write!(f, "log full: need {needed} words, {free} free")
+            }
+            LogError::BadHeader => write!(f, "corrupt log header"),
+            LogError::BadCapacity(c) => write!(f, "unsupported log capacity {c}"),
+            LogError::RecordTooLarge { needed, capacity } => {
+                write!(f, "record of {needed} words exceeds log capacity {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = LogError::Full { needed: 10, free: 3 };
+        assert_eq!(e.to_string(), "log full: need 10 words, 3 free");
+    }
+}

@@ -1,0 +1,147 @@
+//! Shared circular-buffer state and the persistent log header.
+//!
+//! The log is a Lamport single-producer/single-consumer circular buffer
+//! (§4.4, citing Lamport 1977): the producer appends at the tail, the
+//! consumer truncates at the head, and no lock is needed because each side
+//! writes only its own index. Stream positions are monotonically
+//! increasing word counts; `position % capacity` is the buffer index and
+//! `position / capacity` the pass number (which drives the torn-bit
+//! sense).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mnemosyne_region::{PMem, VAddr};
+
+use crate::error::LogError;
+
+/// Bytes of the persistent log header preceding the buffer:
+/// `[magic, capacity_words, head_position, kind]` padded to a cache line.
+pub const LOG_HEADER_BYTES: u64 = 64;
+
+/// Magic for a tornbit log region ("RAWLTORN").
+pub const TORNBIT_MAGIC: u64 = u64::from_le_bytes(*b"RAWLTORN");
+
+/// Magic for a commit-record log region ("RAWLCMIT").
+pub const COMMIT_MAGIC: u64 = u64::from_le_bytes(*b"RAWLCMIT");
+
+/// Volatile state shared between the producer and the (optional)
+/// asynchronous truncator.
+#[derive(Debug)]
+pub struct LogShared {
+    /// First address of the log region (header).
+    pub base: VAddr,
+    /// Buffer capacity in words.
+    pub capacity: u64,
+    /// Stream position of the oldest live word (truncate point).
+    pub head: AtomicU64,
+    /// Stream position one past the last appended word (may not be durable
+    /// yet).
+    pub tail: AtomicU64,
+    /// Stream position up to which appends are durable (advanced by
+    /// `log_flush`). The consumer must not read past this.
+    pub fenced: AtomicU64,
+}
+
+impl LogShared {
+    /// Creates shared state with all positions at `pos`.
+    pub fn new(base: VAddr, capacity: u64, pos: u64) -> Self {
+        LogShared {
+            base,
+            capacity,
+            head: AtomicU64::new(pos),
+            tail: AtomicU64::new(pos),
+            fenced: AtomicU64::new(pos),
+        }
+    }
+
+    /// Virtual address of the buffer word at stream position `pos`.
+    #[inline]
+    pub fn word_addr(&self, pos: u64) -> VAddr {
+        self.base.add(LOG_HEADER_BYTES + (pos % self.capacity) * 8)
+    }
+
+    /// Virtual address of the persistent head word in the header.
+    #[inline]
+    pub fn head_addr(&self) -> VAddr {
+        self.base.add(16)
+    }
+
+    /// Free words from the producer's perspective.
+    #[inline]
+    pub fn free_words(&self) -> u64 {
+        self.capacity - (self.tail.load(Ordering::Relaxed) - self.head.load(Ordering::Acquire))
+    }
+
+    /// Writes the header for a fresh log.
+    pub fn write_header(pmem: &PMem, base: VAddr, magic: u64, capacity: u64) {
+        pmem.wtstore_u64(base, magic);
+        pmem.wtstore_u64(base.add(8), capacity);
+        pmem.wtstore_u64(base.add(16), 0); // head position
+        pmem.fence();
+    }
+
+    /// Reads and validates a header, returning `(capacity, head_position)`.
+    ///
+    /// # Errors
+    /// Fails if the magic does not match.
+    pub fn read_header(pmem: &PMem, base: VAddr, magic: u64) -> Result<(u64, u64), LogError> {
+        if pmem.read_u64(base) != magic {
+            return Err(LogError::BadHeader);
+        }
+        let capacity = pmem.read_u64(base.add(8));
+        let head = pmem.read_u64(base.add(16));
+        if capacity == 0 || capacity % 2 != 0 {
+            return Err(LogError::BadHeader);
+        }
+        Ok((capacity, head))
+    }
+
+    /// Durably advances the persistent head to `pos` (one atomic word
+    /// write plus one fence), then publishes it to the producer.
+    pub fn truncate_to(&self, pmem: &PMem, pos: u64) {
+        debug_assert!(pos >= self.head.load(Ordering::Relaxed));
+        debug_assert!(pos <= self.tail.load(Ordering::Relaxed));
+        pmem.wtstore_u64(self.head_addr(), pos);
+        pmem.fence();
+        self.head.store(pos, Ordering::Release);
+    }
+
+    /// Validates a requested capacity (words): at least 16, even (so the
+    /// pass parity flips predictably), and sane.
+    pub fn validate_capacity(capacity: u64) -> Result<(), LogError> {
+        if capacity < 16 || capacity % 2 != 0 {
+            return Err(LogError::BadCapacity(capacity));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_wrap() {
+        let s = LogShared::new(VAddr(0x1000_0000_0000), 16, 0);
+        assert_eq!(s.word_addr(0), s.word_addr(16));
+        assert_eq!(s.word_addr(3).0, s.base.0 + LOG_HEADER_BYTES + 24);
+    }
+
+    #[test]
+    fn free_words_accounting() {
+        let s = LogShared::new(VAddr(0x1000_0000_0000), 16, 0);
+        assert_eq!(s.free_words(), 16);
+        s.tail.store(10, Ordering::Relaxed);
+        assert_eq!(s.free_words(), 6);
+        s.head.store(4, Ordering::Relaxed);
+        assert_eq!(s.free_words(), 10);
+    }
+
+    #[test]
+    fn capacity_validation() {
+        assert!(LogShared::validate_capacity(16).is_ok());
+        assert!(LogShared::validate_capacity(15).is_err());
+        assert!(LogShared::validate_capacity(17).is_err());
+        assert!(LogShared::validate_capacity(0).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! Torn-bit bit-stream packing (§4.4).
+//!
+//! "The log manager treats the incoming 64-bit words to be written to the
+//! log as a stream of bits. It forms and writes out to the log 64-bit
+//! words that are composed of 63 bits taken from the head of the stream
+//! and the proper torn bit."
+//!
+//! The torn bit occupies bit 63 of every log word. Its expected value for
+//! a word at absolute stream position `p` in a buffer of `n` words is
+//! [`torn_bit_for_pass`]`(p / n)`: pass 0 writes `1` (so zero-initialised,
+//! never-written words mismatch), and the sense reverses every pass.
+
+/// Mask selecting the 63 payload bits of a log word.
+pub const PAYLOAD_MASK: u64 = (1 << 63) - 1;
+
+/// Expected torn-bit value for the given pass over the buffer.
+#[inline]
+pub fn torn_bit_for_pass(pass: u64) -> u64 {
+    1 - (pass & 1)
+}
+
+/// Number of 64-bit log words needed to pack `record_words` 64-bit payload
+/// words at 63 payload bits per log word.
+#[inline]
+pub fn packed_len(record_words: u64) -> u64 {
+    (record_words * 64).div_ceil(63)
+}
+
+/// Packs 64-bit payload words into 63-bit-payload log words, emitting each
+/// finished log word (without the torn bit — the writer adds it, since it
+/// depends on the word's buffer position).
+#[derive(Debug, Default)]
+pub struct BitPacker {
+    acc: u128,
+    bits: u32,
+}
+
+impl BitPacker {
+    /// Creates an empty packer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one payload word, invoking `emit` for each full 63-bit chunk.
+    pub fn push(&mut self, word: u64, mut emit: impl FnMut(u64)) {
+        self.acc |= (word as u128) << self.bits;
+        self.bits += 64;
+        while self.bits >= 63 {
+            emit((self.acc as u64) & PAYLOAD_MASK);
+            self.acc >>= 63;
+            self.bits -= 63;
+        }
+    }
+
+    /// Flushes any remaining bits as a final zero-padded chunk.
+    pub fn finish(mut self, mut emit: impl FnMut(u64)) {
+        if self.bits > 0 {
+            emit((self.acc as u64) & PAYLOAD_MASK);
+            self.acc = 0;
+            self.bits = 0;
+        }
+    }
+}
+
+/// Reassembles 64-bit payload words from a sequence of 63-bit log-word
+/// payloads.
+#[derive(Debug, Default)]
+pub struct BitUnpacker {
+    acc: u128,
+    bits: u32,
+}
+
+impl BitUnpacker {
+    /// Creates an empty unpacker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds the payload bits of one log word (torn bit already stripped),
+    /// emitting every completed 64-bit word.
+    pub fn push(&mut self, payload63: u64, mut emit: impl FnMut(u64)) {
+        debug_assert_eq!(payload63 & !PAYLOAD_MASK, 0);
+        self.acc |= (payload63 as u128) << self.bits;
+        self.bits += 63;
+        while self.bits >= 64 {
+            emit(self.acc as u64);
+            self.acc >>= 64;
+            self.bits -= 64;
+        }
+    }
+}
+
+/// Packs a whole record into log-word payloads (a convenience built on
+/// [`BitPacker`]). The output has exactly
+/// [`packed_len`]`(record.len() as u64)` entries.
+pub fn pack_record(record: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(packed_len(record.len() as u64) as usize);
+    let mut packer = BitPacker::new();
+    for &w in record {
+        packer.push(w, |c| out.push(c));
+    }
+    packer.finish(|c| out.push(c));
+    out
+}
+
+/// Unpacks `want` payload words from log-word payloads.
+pub fn unpack_record(chunks: &[u64], want: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(want);
+    let mut unpacker = BitUnpacker::new();
+    for &c in chunks {
+        if out.len() >= want {
+            break;
+        }
+        unpacker.push(c & PAYLOAD_MASK, |w| {
+            if out.len() < want {
+                out.push(w)
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn torn_bit_alternates_from_one() {
+        assert_eq!(torn_bit_for_pass(0), 1);
+        assert_eq!(torn_bit_for_pass(1), 0);
+        assert_eq!(torn_bit_for_pass(2), 1);
+    }
+
+    #[test]
+    fn packed_len_matches_formula() {
+        assert_eq!(packed_len(0), 0);
+        assert_eq!(packed_len(1), 2); // 64 bits -> 2 chunks
+        assert_eq!(packed_len(63), 64); // 63*64 = 4032 bits = 64 chunks
+        assert_eq!(packed_len(64), 66);
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let record = vec![u64::MAX, 0, 0xdead_beef, 1 << 63];
+        let chunks = pack_record(&record);
+        assert_eq!(chunks.len() as u64, packed_len(4));
+        assert!(chunks.iter().all(|c| c & !PAYLOAD_MASK == 0), "no chunk uses bit 63");
+        assert_eq!(unpack_record(&chunks, 4), record);
+    }
+
+    #[test]
+    fn empty_record() {
+        assert!(pack_record(&[]).is_empty());
+        assert!(unpack_record(&[], 0).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pack_unpack_roundtrip(record in proptest::collection::vec(any::<u64>(), 0..200)) {
+            let chunks = pack_record(&record);
+            prop_assert_eq!(chunks.len() as u64, packed_len(record.len() as u64));
+            for c in &chunks {
+                prop_assert_eq!(c & !PAYLOAD_MASK, 0);
+            }
+            let back = unpack_record(&chunks, record.len());
+            prop_assert_eq!(back, record);
+        }
+
+        #[test]
+        fn prop_unpack_ignores_torn_bits(record in proptest::collection::vec(any::<u64>(), 1..50), torn in any::<bool>()) {
+            let mut chunks = pack_record(&record);
+            if torn {
+                for c in &mut chunks {
+                    *c |= 1 << 63;
+                }
+            }
+            prop_assert_eq!(unpack_record(&chunks, record.len()), record);
+        }
+    }
+}

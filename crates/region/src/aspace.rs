@@ -1,0 +1,291 @@
+//! Per-process address spaces: VMAs, page tables and fault handling.
+//!
+//! A process maps each persistent region as a VMA over a backing file.
+//! Translation from [`VAddr`] to a physical frame goes through a page
+//! table; a miss triggers a fault that asks the region manager to bring
+//! the page in (a *soft* fault if the page is already resident in SCM from
+//! before a restart — the fast path §4.2 describes).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use mnemosyne_scm::PAddr;
+
+use crate::error::Result;
+use crate::manager::{FileId, RegionManager};
+use crate::{RegionError, VAddr};
+
+/// One mapped range of persistent virtual pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Vma {
+    pages: u64,
+    file_id: FileId,
+}
+
+pub(crate) struct AspaceInner {
+    mgr: RegionManager,
+    /// `vpage_start → Vma`, non-overlapping.
+    vmas: RwLock<BTreeMap<u64, Vma>>,
+    /// `vpage → frame base` for installed pages.
+    pt: RwLock<HashMap<u64, PAddr>>,
+    /// Reverse index for eviction shootdown: `(file, page) → vpage`.
+    installed: Mutex<HashMap<(FileId, u64), u64>>,
+}
+
+impl AspaceInner {
+    /// Removes any page-table entry for `(fid, off)` — called by the
+    /// region manager when it evicts the page.
+    pub(crate) fn invalidate(&self, fid: FileId, off: u64) {
+        if let Some(vpage) = self.installed.lock().remove(&(fid, off)) {
+            self.pt.write().remove(&vpage);
+        }
+    }
+}
+
+/// A process's view of the persistent address range. Cloning shares the
+/// page table (threads of one process).
+#[derive(Clone)]
+pub struct AddressSpace {
+    inner: Arc<AspaceInner>,
+}
+
+impl std::fmt::Debug for AddressSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AddressSpace")
+            .field("vmas", &self.inner.vmas.read().len())
+            .field("installed", &self.inner.pt.read().len())
+            .finish()
+    }
+}
+
+impl AddressSpace {
+    /// Creates an empty address space registered with `mgr` for eviction
+    /// shootdown.
+    pub fn new(mgr: &RegionManager) -> AddressSpace {
+        let inner = Arc::new(AspaceInner {
+            mgr: mgr.clone(),
+            vmas: RwLock::new(BTreeMap::new()),
+            pt: RwLock::new(HashMap::new()),
+            installed: Mutex::new(HashMap::new()),
+        });
+        mgr.register_aspace(&inner);
+        AddressSpace { inner }
+    }
+
+    /// The owning region manager.
+    pub fn manager(&self) -> &RegionManager {
+        &self.inner.mgr
+    }
+
+    /// Maps `pages` persistent virtual pages starting at `addr` onto file
+    /// `fid` (page 0 of the file at `addr`).
+    ///
+    /// # Errors
+    /// Fails if the range overlaps an existing mapping or is not
+    /// page-aligned and persistent.
+    pub fn map(&self, addr: VAddr, pages: u64, fid: FileId) -> Result<()> {
+        if !addr.is_persistent() || addr.page_offset() != 0 || pages == 0 {
+            return Err(RegionError::Unmapped(addr));
+        }
+        let start = addr.vpage();
+        let mut vmas = self.inner.vmas.write();
+        // Overlap check against neighbours.
+        if let Some((&s, v)) = vmas.range(..=start).next_back() {
+            if s + v.pages > start {
+                return Err(RegionError::RegionExists(format!("vma at vpage {s}")));
+            }
+        }
+        if let Some((&s, _)) = vmas.range(start..).next() {
+            if start + pages > s {
+                return Err(RegionError::RegionExists(format!("vma at vpage {s}")));
+            }
+        }
+        vmas.insert(start, Vma { pages, file_id: fid });
+        Ok(())
+    }
+
+    /// Unmaps the VMA starting at `addr`, dropping its page-table entries.
+    /// Resident pages stay in SCM (still recorded in the persistent
+    /// mapping table) unless the caller also drops the backing file.
+    ///
+    /// # Errors
+    /// Fails if no VMA starts at `addr`.
+    pub fn unmap(&self, addr: VAddr) -> Result<()> {
+        let start = addr.vpage();
+        let vma = self
+            .inner
+            .vmas
+            .write()
+            .remove(&start)
+            .ok_or(RegionError::Unmapped(addr))?;
+        let mut pt = self.inner.pt.write();
+        let mut installed = self.inner.installed.lock();
+        for vp in start..start + vma.pages {
+            pt.remove(&vp);
+            installed.remove(&(vma.file_id, vp - start));
+        }
+        Ok(())
+    }
+
+    /// Translates a persistent virtual address to its physical address,
+    /// faulting the page in if necessary.
+    ///
+    /// # Errors
+    /// Fails if no VMA covers the address or paging fails.
+    pub fn translate(&self, addr: VAddr) -> Result<PAddr> {
+        if !addr.is_persistent() {
+            return Err(RegionError::Unmapped(addr));
+        }
+        let vpage = addr.vpage();
+        if let Some(&frame) = self.inner.pt.read().get(&vpage) {
+            return Ok(frame.add(addr.page_offset()));
+        }
+        self.fault(vpage).map(|f| f.add(addr.page_offset()))
+    }
+
+    /// Page-fault slow path.
+    fn fault(&self, vpage: u64) -> Result<PAddr> {
+        let (fid, file_page) = {
+            let vmas = self.inner.vmas.read();
+            let (&start, vma) = vmas
+                .range(..=vpage)
+                .next_back()
+                .filter(|(&s, v)| vpage < s + v.pages)
+                .ok_or(RegionError::Unmapped(VAddr::from_vpage(vpage)))?;
+            (vma.file_id, vpage - start)
+        };
+        let frame = self.inner.mgr.page_in(fid, file_page)?;
+        self.inner.pt.write().insert(vpage, frame);
+        self.inner.installed.lock().insert((fid, file_page), vpage);
+        Ok(frame)
+    }
+
+    /// Pre-faults every page of the VMA starting at `addr` (used by
+    /// recovery code that is about to scan a whole region, and by the
+    /// reincarnation experiment to measure remap cost).
+    ///
+    /// # Errors
+    /// Fails if no VMA starts at `addr` or paging fails.
+    pub fn prefault(&self, addr: VAddr) -> Result<()> {
+        let start = addr.vpage();
+        let pages = {
+            let vmas = self.inner.vmas.read();
+            vmas.get(&start)
+                .ok_or(RegionError::Unmapped(addr))?
+                .pages
+        };
+        for vp in start..start + pages {
+            if !self.inner.pt.read().contains_key(&vp) {
+                self.fault(vp)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of pages currently installed in the page table.
+    pub fn installed_pages(&self) -> usize {
+        self.inner.pt.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAGE_SIZE;
+    use mnemosyne_scm::{ScmConfig, ScmSim};
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn setup() -> (ScmSim, RegionManager, AddressSpace, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "mnemo-as-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        let sim = ScmSim::new(ScmConfig::for_testing(4 << 20));
+        let mgr = RegionManager::boot(&sim, &dir).unwrap();
+        let aspace = AddressSpace::new(&mgr);
+        (sim, mgr, aspace, dir)
+    }
+
+    #[test]
+    fn translate_faults_then_hits() {
+        let (_sim, mgr, aspace, dir) = setup();
+        let fid = mgr.register_file("a.region").unwrap();
+        let base = VAddr::from_vpage(100);
+        aspace.map(base, 4, fid).unwrap();
+        let p1 = aspace.translate(base.add(5)).unwrap();
+        let p2 = aspace.translate(base.add(5)).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(aspace.installed_pages(), 1);
+        // Different page of same VMA gets a different frame.
+        let p3 = aspace.translate(base.add(PAGE_SIZE)).unwrap();
+        assert_ne!(p1.line_index() / 64, p3.line_index() / 64);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn overlapping_map_rejected() {
+        let (_sim, mgr, aspace, dir) = setup();
+        let fid = mgr.register_file("a.region").unwrap();
+        aspace.map(VAddr::from_vpage(10), 4, fid).unwrap();
+        assert!(aspace.map(VAddr::from_vpage(12), 4, fid).is_err());
+        assert!(aspace.map(VAddr::from_vpage(8), 4, fid).is_err());
+        aspace.map(VAddr::from_vpage(14), 2, fid).unwrap();
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn unmapped_access_fails() {
+        let (_sim, _mgr, aspace, dir) = setup();
+        assert!(matches!(
+            aspace.translate(VAddr::from_vpage(5)),
+            Err(RegionError::Unmapped(_))
+        ));
+        assert!(aspace.translate(VAddr(42)).is_err(), "volatile address");
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn unmap_removes_translation() {
+        let (_sim, mgr, aspace, dir) = setup();
+        let fid = mgr.register_file("a.region").unwrap();
+        let base = VAddr::from_vpage(10);
+        aspace.map(base, 2, fid).unwrap();
+        aspace.translate(base).unwrap();
+        aspace.unmap(base).unwrap();
+        assert!(aspace.translate(base).is_err());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn eviction_shootdown_refaults() {
+        let (sim, mgr, aspace, dir) = setup();
+        let fid = mgr.register_file("a.region").unwrap();
+        let base = VAddr::from_vpage(10);
+        aspace.map(base, 1, fid).unwrap();
+        let p = aspace.translate(base).unwrap();
+        sim.dma().write(p, &[9u8; 8]);
+        mgr.reclaim(1).unwrap();
+        assert_eq!(aspace.installed_pages(), 0, "shootdown must clear the PTE");
+        let p2 = aspace.translate(base).unwrap();
+        let mut b = [0u8; 8];
+        sim.dma().read(p2, &mut b);
+        assert_eq!(b, [9u8; 8]);
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn prefault_installs_all_pages() {
+        let (_sim, mgr, aspace, dir) = setup();
+        let fid = mgr.register_file("a.region").unwrap();
+        let base = VAddr::from_vpage(20);
+        aspace.map(base, 8, fid).unwrap();
+        aspace.prefault(base).unwrap();
+        assert_eq!(aspace.installed_pages(), 8);
+        fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for region operations.
+
+use std::fmt;
+use std::io;
+
+/// Errors from the region manager and libmnemosyne layers.
+#[derive(Debug)]
+pub enum RegionError {
+    /// The SCM device is too small for the requested format.
+    DeviceTooSmall {
+        /// Bytes required.
+        required: u64,
+        /// Bytes available.
+        available: u64,
+    },
+    /// Physical SCM frames are exhausted and nothing can be evicted.
+    OutOfFrames,
+    /// No free slot in the persistent region table.
+    RegionTableFull,
+    /// No free slot in the persistent inode table.
+    InodeTableFull,
+    /// A region with this name already exists (and creation was requested
+    /// exclusively), or the existing region's length differs.
+    RegionExists(String),
+    /// The named region does not exist.
+    NoSuchRegion(String),
+    /// Virtual address space in the persistent range is exhausted.
+    OutOfAddressSpace,
+    /// Access to a virtual address with no region mapped.
+    Unmapped(crate::VAddr),
+    /// The persistent superblock is corrupt or from an incompatible version.
+    BadSuperblock,
+    /// A region or file name exceeds the stored-name limit or is empty.
+    BadName(String),
+    /// Underlying backing-file I/O failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for RegionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionError::DeviceTooSmall { required, available } => write!(
+                f,
+                "SCM device too small: need {required} bytes, have {available}"
+            ),
+            RegionError::OutOfFrames => write!(f, "out of physical SCM frames"),
+            RegionError::RegionTableFull => write!(f, "persistent region table is full"),
+            RegionError::InodeTableFull => write!(f, "persistent inode table is full"),
+            RegionError::RegionExists(n) => write!(f, "region '{n}' already exists"),
+            RegionError::NoSuchRegion(n) => write!(f, "no region named '{n}'"),
+            RegionError::OutOfAddressSpace => write!(f, "persistent address space exhausted"),
+            RegionError::Unmapped(a) => write!(f, "access to unmapped address {a}"),
+            RegionError::BadSuperblock => write!(f, "corrupt or incompatible SCM superblock"),
+            RegionError::BadName(n) => write!(f, "invalid region name '{n}'"),
+            RegionError::Io(e) => write!(f, "backing file I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegionError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RegionError {
+    fn from(e: io::Error) -> Self {
+        RegionError::Io(e)
+    }
+}
+
+/// Result alias for region operations.
+pub type Result<T> = std::result::Result<T, RegionError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = RegionError::NoSuchRegion("heap".into());
+        assert_eq!(e.to_string(), "no region named 'heap'");
+        let e = RegionError::DeviceTooSmall {
+            required: 100,
+            available: 10,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error as _;
+        let e = RegionError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+    }
+}

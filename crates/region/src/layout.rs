@@ -1,0 +1,154 @@
+//! Physical layout of kernel metadata at the base of SCM.
+//!
+//! The region manager stores its persistent mapping table "at the base of
+//! physical SCM" (§4.2). We lay out:
+//!
+//! ```text
+//! +0                superblock   (magic, version, frame count, inode cap)
+//! +64               mapping table  frame_count × 16 B  <file_id, page_off>
+//! +…                inode table    inode_cap × 144 B   <file_id, name>
+//! +… (page aligned) frames         frame_count × 4 KB
+//! ```
+//!
+//! `file_id == 0` marks a free mapping or inode slot. The kernel updates
+//! these structures with write-through stores and fences of its own; the
+//! simulation routes them through the DMA path, which has the same
+//! durability (immediately stable in media).
+
+use crate::{RegionError, PAGE_SIZE};
+use mnemosyne_scm::PAddr;
+
+/// Superblock magic: "MNEMOSYN" little-endian.
+pub const MAGIC: u64 = u64::from_le_bytes(*b"MNEMOSYN");
+
+/// On-media format version.
+pub const VERSION: u64 = 1;
+
+/// Bytes reserved for the superblock.
+pub const SUPERBLOCK_BYTES: u64 = 64;
+
+/// Bytes per mapping-table entry: `<file_id, page_off>` (the frame number
+/// is the entry index).
+pub const MAP_ENTRY_BYTES: u64 = 16;
+
+/// Maximum stored backing-file name length.
+pub const NAME_BYTES: usize = 128;
+
+/// Bytes per inode-table entry: id, name length, name bytes.
+pub const INODE_ENTRY_BYTES: u64 = 16 + NAME_BYTES as u64;
+
+/// Number of inode slots.
+pub const INODE_CAP: u64 = 256;
+
+/// Computed physical layout for a device of a given size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Number of 4 KB SCM frames available to regions.
+    pub frame_count: u64,
+    /// Physical address of the mapping table.
+    pub map_base: PAddr,
+    /// Physical address of the inode table.
+    pub inode_base: PAddr,
+    /// Physical address of frame 0 (page aligned).
+    pub frames_base: PAddr,
+}
+
+impl Layout {
+    /// Computes the layout for a device of `device_size` bytes.
+    ///
+    /// # Errors
+    /// Returns [`RegionError::DeviceTooSmall`] if fewer than 4 frames fit.
+    pub fn for_device(device_size: u64) -> Result<Layout, RegionError> {
+        let map_base = SUPERBLOCK_BYTES;
+        // Solve for the largest frame_count such that
+        // header + map + inodes + frames fits.
+        let inode_bytes = INODE_CAP * INODE_ENTRY_BYTES;
+        let mut frame_count = device_size / PAGE_SIZE;
+        loop {
+            let inode_base = map_base + frame_count * MAP_ENTRY_BYTES;
+            let frames_base = (inode_base + inode_bytes).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+            let end = frames_base + frame_count * PAGE_SIZE;
+            if end <= device_size {
+                if frame_count < 4 {
+                    return Err(RegionError::DeviceTooSmall {
+                        required: frames_base + 4 * PAGE_SIZE,
+                        available: device_size,
+                    });
+                }
+                return Ok(Layout {
+                    frame_count,
+                    map_base: PAddr(map_base),
+                    inode_base: PAddr(inode_base),
+                    frames_base: PAddr(frames_base),
+                });
+            }
+            if frame_count == 0 {
+                return Err(RegionError::DeviceTooSmall {
+                    required: map_base + inode_bytes + 4 * PAGE_SIZE,
+                    available: device_size,
+                });
+            }
+            frame_count -= 1;
+        }
+    }
+
+    /// Physical address of mapping-table entry `frame`.
+    #[inline]
+    pub fn map_entry(&self, frame: u64) -> PAddr {
+        debug_assert!(frame < self.frame_count);
+        self.map_base.add(frame * MAP_ENTRY_BYTES)
+    }
+
+    /// Physical address of inode-table entry `slot`.
+    #[inline]
+    pub fn inode_entry(&self, slot: u64) -> PAddr {
+        debug_assert!(slot < INODE_CAP);
+        self.inode_base.add(slot * INODE_ENTRY_BYTES)
+    }
+
+    /// Physical base address of frame `frame`.
+    #[inline]
+    pub fn frame_addr(&self, frame: u64) -> PAddr {
+        debug_assert!(frame < self.frame_count, "frame {frame} out of range");
+        self.frames_base.add(frame * PAGE_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_fits_device() {
+        let size = 4 << 20;
+        let l = Layout::for_device(size).unwrap();
+        assert!(l.frame_count > 900, "4 MB should give ~1000 frames");
+        assert_eq!(l.frames_base.0 % PAGE_SIZE, 0);
+        let end = l.frames_base.0 + l.frame_count * PAGE_SIZE;
+        assert!(end <= size);
+        // Tables do not overlap frames.
+        assert!(l.inode_base.0 + INODE_CAP * INODE_ENTRY_BYTES <= l.frames_base.0);
+        assert!(l.map_base.0 + l.frame_count * MAP_ENTRY_BYTES <= l.inode_base.0);
+    }
+
+    #[test]
+    fn tiny_device_rejected() {
+        assert!(matches!(
+            Layout::for_device(8192),
+            Err(RegionError::DeviceTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn entry_addresses_are_disjoint() {
+        let l = Layout::for_device(4 << 20).unwrap();
+        assert_eq!(l.map_entry(1).0 - l.map_entry(0).0, MAP_ENTRY_BYTES);
+        assert_eq!(l.inode_entry(1).0 - l.inode_entry(0).0, INODE_ENTRY_BYTES);
+        assert_eq!(l.frame_addr(1).0 - l.frame_addr(0).0, PAGE_SIZE);
+    }
+
+    #[test]
+    fn magic_is_ascii() {
+        assert_eq!(&MAGIC.to_le_bytes(), b"MNEMOSYN");
+    }
+}

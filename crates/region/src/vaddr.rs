@@ -1,0 +1,142 @@
+//! Virtual addresses and the reserved persistent range.
+//!
+//! libmnemosyne "allocates all regions in a one terabyte reserved range of
+//! virtual address space ... this allows a quick determination of whether
+//! an address refers to persistent data" (§4.2). The transaction system
+//! relies on exactly that range check to decide which writes need logging.
+
+use std::fmt;
+
+use crate::PAGE_SIZE;
+
+/// Base of the reserved persistent virtual range (power-of-two aligned).
+pub const PERSISTENT_BASE: u64 = 0x1000_0000_0000;
+
+/// Size of the reserved persistent virtual range: one terabyte.
+pub const PERSISTENT_SIZE: u64 = 1 << 40;
+
+/// A virtual address. Addresses inside
+/// `[PERSISTENT_BASE, PERSISTENT_BASE + PERSISTENT_SIZE)` refer to
+/// persistent regions; all other addresses are ordinary volatile memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VAddr(pub u64);
+
+impl VAddr {
+    /// The null persistent address. Page zero of the persistent range is
+    /// never handed out, so `VAddr(0)` and `VAddr(PERSISTENT_BASE)` are both
+    /// safe "no address" sentinels; we use plain 0.
+    pub const NULL: VAddr = VAddr(0);
+
+    /// Whether this address lies in the reserved persistent range — the
+    /// §4.2 quick check.
+    #[inline]
+    pub fn is_persistent(self) -> bool {
+        // A single wrapping subtraction and compare, as a range this large
+        // and aligned permits.
+        self.0.wrapping_sub(PERSISTENT_BASE) < PERSISTENT_SIZE
+    }
+
+    /// Whether this is the null address.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Virtual page number within the persistent range.
+    ///
+    /// # Panics
+    /// Panics (debug) if the address is not persistent.
+    #[inline]
+    pub fn vpage(self) -> u64 {
+        debug_assert!(self.is_persistent(), "vpage of non-persistent address");
+        (self.0 - PERSISTENT_BASE) / PAGE_SIZE
+    }
+
+    /// Byte offset within the containing page.
+    #[inline]
+    pub fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+
+    /// First address of the given persistent virtual page.
+    #[inline]
+    pub fn from_vpage(vpage: u64) -> VAddr {
+        VAddr(PERSISTENT_BASE + vpage * PAGE_SIZE)
+    }
+
+    /// Returns the address advanced by `bytes`.
+    #[inline]
+    pub fn add(self, bytes: u64) -> VAddr {
+        VAddr(self.0 + bytes)
+    }
+
+    /// Byte distance from `base` (which must not exceed `self`).
+    #[inline]
+    pub fn offset_from(self, base: VAddr) -> u64 {
+        debug_assert!(self.0 >= base.0);
+        self.0 - base.0
+    }
+
+    /// Whether the address is 8-byte aligned.
+    #[inline]
+    pub fn is_word_aligned(self) -> bool {
+        self.0 % 8 == 0
+    }
+
+    /// Rounds up to the next multiple of `align` (a power of two).
+    #[inline]
+    pub fn align_up(self, align: u64) -> VAddr {
+        debug_assert!(align.is_power_of_two());
+        VAddr((self.0 + align - 1) & !(align - 1))
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for VAddr {
+    fn from(v: u64) -> Self {
+        VAddr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persistence_check_is_a_range_check() {
+        assert!(!VAddr(0).is_persistent());
+        assert!(!VAddr(PERSISTENT_BASE - 1).is_persistent());
+        assert!(VAddr(PERSISTENT_BASE).is_persistent());
+        assert!(VAddr(PERSISTENT_BASE + PERSISTENT_SIZE - 1).is_persistent());
+        assert!(!VAddr(PERSISTENT_BASE + PERSISTENT_SIZE).is_persistent());
+        assert!(!VAddr(u64::MAX).is_persistent());
+    }
+
+    #[test]
+    fn vpage_roundtrip() {
+        let a = VAddr::from_vpage(17);
+        assert!(a.is_persistent());
+        assert_eq!(a.vpage(), 17);
+        assert_eq!(a.page_offset(), 0);
+        assert_eq!(a.add(100).vpage(), 17);
+        assert_eq!(a.add(100).page_offset(), 100);
+        assert_eq!(a.add(PAGE_SIZE).vpage(), 18);
+    }
+
+    #[test]
+    fn align_up_works() {
+        assert_eq!(VAddr(100).align_up(64), VAddr(128));
+        assert_eq!(VAddr(128).align_up(64), VAddr(128));
+    }
+
+    #[test]
+    fn null_is_not_persistent() {
+        assert!(VAddr::NULL.is_null());
+        assert!(!VAddr::NULL.is_persistent());
+    }
+}

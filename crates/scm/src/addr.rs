@@ -1,0 +1,120 @@
+//! Physical SCM addresses and geometry constants.
+
+use std::fmt;
+
+/// Size in bytes of one 64-bit word, the atomic write unit the paper assumes
+/// SCM memory systems support (§2, "Failure Models").
+pub const WORD: u64 = 8;
+
+/// Cache line size in bytes; matches the x86 platform of the paper (§4.1).
+pub const CACHE_LINE: u64 = 64;
+
+/// Words per cache line.
+pub const WORDS_PER_LINE: usize = (CACHE_LINE / WORD) as usize;
+
+/// A physical address within the SCM device: a byte offset from the base of
+/// the media.
+///
+/// The kernel-side region manager hands out page frames of physical SCM;
+/// user code normally works with virtual addresses (`VAddr` in
+/// `mnemosyne-region`) that translate to `PAddr` through a page table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PAddr(pub u64);
+
+impl PAddr {
+    /// Byte offset of this address within its 64-bit word.
+    #[inline]
+    pub fn word_offset(self) -> u64 {
+        self.0 % WORD
+    }
+
+    /// Index of the 64-bit word containing this address.
+    #[inline]
+    pub fn word_index(self) -> usize {
+        (self.0 / WORD) as usize
+    }
+
+    /// Index of the cache line containing this address.
+    #[inline]
+    pub fn line_index(self) -> u64 {
+        self.0 / CACHE_LINE
+    }
+
+    /// Address rounded down to its cache-line base.
+    #[inline]
+    pub fn line_base(self) -> PAddr {
+        PAddr(self.0 - self.0 % CACHE_LINE)
+    }
+
+    /// Whether this address is 8-byte aligned (required for word primitives).
+    #[inline]
+    pub fn is_word_aligned(self) -> bool {
+        self.0 % WORD == 0
+    }
+
+    /// Returns the address advanced by `bytes`.
+    #[inline]
+    pub fn add(self, bytes: u64) -> PAddr {
+        PAddr(self.0 + bytes)
+    }
+
+    /// Checked subtraction of another address, yielding a byte distance.
+    #[inline]
+    pub fn offset_from(self, base: PAddr) -> u64 {
+        debug_assert!(self.0 >= base.0, "address below base");
+        self.0 - base.0
+    }
+}
+
+impl fmt::Display for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p:{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for PAddr {
+    fn from(v: u64) -> Self {
+        PAddr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_geometry() {
+        assert_eq!(PAddr(0).word_index(), 0);
+        assert_eq!(PAddr(8).word_index(), 1);
+        assert_eq!(PAddr(15).word_index(), 1);
+        assert_eq!(PAddr(15).word_offset(), 7);
+        assert!(PAddr(16).is_word_aligned());
+        assert!(!PAddr(17).is_word_aligned());
+    }
+
+    #[test]
+    fn line_geometry() {
+        assert_eq!(PAddr(0).line_index(), 0);
+        assert_eq!(PAddr(63).line_index(), 0);
+        assert_eq!(PAddr(64).line_index(), 1);
+        assert_eq!(PAddr(130).line_base(), PAddr(128));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = PAddr(100);
+        assert_eq!(a.add(28), PAddr(128));
+        assert_eq!(a.add(28).offset_from(a), 28);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(PAddr(0x40).to_string(), "p:0x40");
+    }
+}

@@ -1,0 +1,274 @@
+//! Write-back processor cache model.
+//!
+//! The cache is the reason consistent updates are hard on SCM (§3.2.3): a
+//! cacheable store is immediately visible to loads but not durable — the
+//! line may reach the media at any time (background eviction) or never (a
+//! crash discards it). This model tracks *dirty words* per 64-byte line;
+//! `flush` (the `clflush` analogue) writes a line to the media, and a crash
+//! hands the set of still-pending words to the crash policy.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::addr::{PAddr, CACHE_LINE, WORDS_PER_LINE};
+use crate::media::Media;
+
+const SHARDS: usize = 64;
+
+/// One cached line: new values of dirty words plus a dirty mask.
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheLine {
+    words: [u64; WORDS_PER_LINE],
+    dirty: u8,
+}
+
+/// Sharded dirty-line map standing in for the processor cache hierarchy.
+///
+/// Clean data is never cached here — reads of clean words go straight to
+/// media, which is behaviourally equivalent (loads always see the newest
+/// value) and keeps the model small.
+#[derive(Debug)]
+pub struct CacheModel {
+    shards: Vec<Mutex<HashMap<u64, CacheLine>>>,
+    capacity_per_shard: usize,
+}
+
+impl CacheModel {
+    /// Creates a cache that begins background write-back beyond
+    /// `capacity_lines` dirty lines.
+    pub fn new(capacity_lines: usize) -> Self {
+        CacheModel {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            capacity_per_shard: (capacity_lines / SHARDS).max(1),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, line: u64) -> &Mutex<HashMap<u64, CacheLine>> {
+        &self.shards[(line as usize) % SHARDS]
+    }
+
+    /// Cacheable store of `data` at `addr` (the `mov` analogue). Visible to
+    /// subsequent reads, not durable until flushed or evicted.
+    pub fn store_bytes(&self, media: &Media, addr: PAddr, data: &[u8]) {
+        let mut off = 0usize;
+        while off < data.len() {
+            let a = addr.add(off as u64);
+            let line = a.line_index();
+            let end_of_line = (line + 1) * CACHE_LINE;
+            let n = ((end_of_line - a.0) as usize).min(data.len() - off);
+            self.store_within_line(media, a, &data[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// Store that does not cross a line boundary.
+    fn store_within_line(&self, media: &Media, addr: PAddr, data: &[u8]) {
+        let line = addr.line_index();
+        let mut shard = self.shard(line).lock();
+        let entry = shard.entry(line).or_default();
+        let mut off = 0usize;
+        while off < data.len() {
+            let a = addr.add(off as u64);
+            let widx = ((a.0 / 8) % WORDS_PER_LINE as u64) as usize;
+            let start = a.word_offset() as usize;
+            let n = (8 - start).min(data.len() - off);
+            let bit = 1u8 << widx;
+            let mut cur = if entry.dirty & bit != 0 {
+                entry.words[widx]
+            } else {
+                media.read_word(PAddr(a.0 - a.0 % 8))
+            };
+            let mut bytes = cur.to_le_bytes();
+            bytes[start..start + n].copy_from_slice(&data[off..off + n]);
+            cur = u64::from_le_bytes(bytes);
+            entry.words[widx] = cur;
+            entry.dirty |= bit;
+            off += n;
+        }
+        // Capacity pressure: evict some other dirty line to media, like a
+        // real cache replacing a victim. The victim becomes durable.
+        if shard.len() > self.capacity_per_shard {
+            let victim = *shard.keys().find(|&&l| l != line).unwrap_or(&line);
+            if victim != line {
+                if let Some(v) = shard.remove(&victim) {
+                    write_line_back(media, victim, &v);
+                }
+            }
+        }
+    }
+
+    /// Reads bytes at `addr`, seeing dirty cached words first, clean words
+    /// from the media.
+    pub fn read_bytes(&self, media: &Media, addr: PAddr, buf: &mut [u8]) {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr.add(off as u64);
+            let word_base = PAddr(a.0 - a.0 % 8);
+            let line = a.line_index();
+            let widx = ((a.0 / 8) % WORDS_PER_LINE as u64) as usize;
+            let word = {
+                let shard = self.shard(line).lock();
+                match shard.get(&line) {
+                    Some(entry) if entry.dirty & (1 << widx) != 0 => entry.words[widx],
+                    _ => media.read_word(word_base),
+                }
+            };
+            let bytes = word.to_le_bytes();
+            let start = a.word_offset() as usize;
+            let n = (8 - start).min(buf.len() - off);
+            buf[off..off + n].copy_from_slice(&bytes[start..start + n]);
+            off += n;
+        }
+    }
+
+    /// Flushes the line containing `addr` to media (the `clflush`
+    /// analogue). Returns `true` if the line was dirty — the caller charges
+    /// PCM write latency only in that case.
+    pub fn flush_line(&self, media: &Media, addr: PAddr) -> bool {
+        let line = addr.line_index();
+        let mut shard = self.shard(line).lock();
+        match shard.remove(&line) {
+            Some(entry) => {
+                write_line_back(media, line, &entry);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Writes every dirty line back to media (orderly shutdown — *not*
+    /// available to recovery code, which must assume a crash instead).
+    pub fn writeback_all(&self, media: &Media) {
+        for s in &self.shards {
+            let mut shard = s.lock();
+            for (line, entry) in shard.drain() {
+                write_line_back(media, line, &entry);
+            }
+        }
+    }
+
+    /// Removes and returns all pending dirty words as `(address, value)`
+    /// pairs. Used by crash injection: the crash policy decides which of
+    /// these ever reached the media.
+    pub fn drain_pending(&self) -> Vec<(PAddr, u64)> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let mut shard = s.lock();
+            for (line, entry) in shard.drain() {
+                for w in 0..WORDS_PER_LINE {
+                    if entry.dirty & (1 << w) != 0 {
+                        out.push((PAddr(line * CACHE_LINE + w as u64 * 8), entry.words[w]));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of dirty lines currently held.
+    pub fn dirty_lines(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+fn write_line_back(media: &Media, line: u64, entry: &CacheLine) {
+    for w in 0..WORDS_PER_LINE {
+        if entry.dirty & (1 << w) != 0 {
+            media.write_word(PAddr(line * CACHE_LINE + w as u64 * 8), entry.words[w]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Media, CacheModel) {
+        (Media::new(1 << 16), CacheModel::new(1024))
+    }
+
+    #[test]
+    fn store_visible_to_read_but_not_media() {
+        let (media, cache) = setup();
+        cache.store_bytes(&media, PAddr(128), &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        cache.read_bytes(&media, PAddr(128), &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+        // Media still zero: the store is not durable.
+        assert_eq!(media.read_word(PAddr(128)), 0);
+    }
+
+    #[test]
+    fn flush_makes_durable() {
+        let (media, cache) = setup();
+        cache.store_bytes(&media, PAddr(128), &[1, 2, 3, 4]);
+        assert!(cache.flush_line(&media, PAddr(130)));
+        assert_eq!(media.read_word(PAddr(128)), u64::from_le_bytes([1, 2, 3, 4, 0, 0, 0, 0]));
+        // Second flush is a no-op on a clean line.
+        assert!(!cache.flush_line(&media, PAddr(130)));
+    }
+
+    #[test]
+    fn store_preserves_clean_bytes_of_word() {
+        let (media, cache) = setup();
+        media.write_word(PAddr(64), u64::MAX);
+        cache.store_bytes(&media, PAddr(66), &[0]);
+        let mut buf = [0u8; 8];
+        cache.read_bytes(&media, PAddr(64), &mut buf);
+        assert_eq!(buf, [0xff, 0xff, 0, 0xff, 0xff, 0xff, 0xff, 0xff]);
+    }
+
+    #[test]
+    fn store_crossing_line_boundary() {
+        let (media, cache) = setup();
+        let data: Vec<u8> = (0..100u8).collect();
+        cache.store_bytes(&media, PAddr(30), &data);
+        let mut buf = vec![0u8; 100];
+        cache.read_bytes(&media, PAddr(30), &mut buf);
+        assert_eq!(buf, data);
+        assert!(cache.dirty_lines() >= 2);
+    }
+
+    #[test]
+    fn drain_pending_reports_dirty_words() {
+        let (media, cache) = setup();
+        cache.store_bytes(&media, PAddr(0), &[0xaa]);
+        cache.store_bytes(&media, PAddr(8), &[0xbb]);
+        let mut pending = cache.drain_pending();
+        pending.sort_by_key(|(a, _)| a.0);
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0], (PAddr(0), 0xaa));
+        assert_eq!(pending[1], (PAddr(8), 0xbb));
+        assert_eq!(cache.dirty_lines(), 0);
+    }
+
+    #[test]
+    fn writeback_all_flushes_everything() {
+        let (media, cache) = setup();
+        cache.store_bytes(&media, PAddr(0), &[1]);
+        cache.store_bytes(&media, PAddr(4096), &[2]);
+        cache.writeback_all(&media);
+        assert_eq!(cache.dirty_lines(), 0);
+        assert_eq!(media.read_word(PAddr(0)), 1);
+        assert_eq!(media.read_word(PAddr(4096)), 2);
+    }
+
+    #[test]
+    fn capacity_eviction_writes_back() {
+        let media = Media::new(1 << 20);
+        let cache = CacheModel::new(SHARDS); // one line per shard
+        // Dirty many lines in the same shard (stride SHARDS*64 bytes).
+        for i in 0..10u64 {
+            cache.store_bytes(&media, PAddr(i * SHARDS as u64 * CACHE_LINE), &[7]);
+        }
+        assert!(cache.dirty_lines() < 10, "older lines must have been evicted");
+        // Every line is still readable with its stored value.
+        for i in 0..10u64 {
+            let mut b = [0u8; 1];
+            cache.read_bytes(&media, PAddr(i * SHARDS as u64 * CACHE_LINE), &mut b);
+            assert_eq!(b[0], 7);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Crash policies: which in-flight writes survive a failure.
+//!
+//! The paper's failure model (§2): "on a system failure, in-flight memory
+//! operations may fail, and ... atomic updates either complete or do not
+//! modify memory". At crash time the simulator gathers every pending
+//! 64-bit word (dirty cache words plus write-combining entries) and asks a
+//! `CrashPolicy` which of them had already reached the media.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::addr::PAddr;
+
+/// Decides the fate of in-flight words at a simulated crash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CrashPolicy {
+    /// Every pending write retired just before the failure — the luckiest
+    /// possible crash.
+    ApplyAll,
+    /// No pending write retired — a power cut at the worst moment.
+    DropAll,
+    /// Each pending word independently retired with probability
+    /// `apply_probability`, from a deterministic seed. This is the
+    /// adversarial torn-write case: streaming stores retire out of order,
+    /// so *any* subset is a legal outcome.
+    Random {
+        /// RNG seed, so failures are reproducible.
+        seed: u64,
+        /// Probability in `[0, 1]` that a given pending word retired.
+        apply_probability: f64,
+    },
+}
+
+impl CrashPolicy {
+    /// Convenience constructor for the common 50/50 random policy.
+    pub fn random(seed: u64) -> Self {
+        CrashPolicy::Random {
+            seed,
+            apply_probability: 0.5,
+        }
+    }
+
+    /// Applies the policy: returns the subset of `pending` words that
+    /// reached the media.
+    pub fn select(&self, pending: Vec<(PAddr, u64)>) -> Vec<(PAddr, u64)> {
+        match *self {
+            CrashPolicy::ApplyAll => pending,
+            CrashPolicy::DropAll => Vec::new(),
+            CrashPolicy::Random {
+                seed,
+                apply_probability,
+            } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                pending
+                    .into_iter()
+                    .filter(|_| rng.gen_bool(apply_probability.clamp(0.0, 1.0)))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<(PAddr, u64)> {
+        (0..100).map(|i| (PAddr(i * 8), i)).collect()
+    }
+
+    #[test]
+    fn apply_all_keeps_everything() {
+        assert_eq!(CrashPolicy::ApplyAll.select(sample()).len(), 100);
+    }
+
+    #[test]
+    fn drop_all_keeps_nothing() {
+        assert!(CrashPolicy::DropAll.select(sample()).is_empty());
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = CrashPolicy::random(42).select(sample());
+        let b = CrashPolicy::random(42).select(sample());
+        assert_eq!(a, b);
+        let c = CrashPolicy::random(43).select(sample());
+        assert_ne!(a, c, "different seeds should normally differ");
+    }
+
+    #[test]
+    fn random_probability_extremes() {
+        let all = CrashPolicy::Random {
+            seed: 1,
+            apply_probability: 1.0,
+        };
+        assert_eq!(all.select(sample()).len(), 100);
+        let none = CrashPolicy::Random {
+            seed: 1,
+            apply_probability: 0.0,
+        };
+        assert!(none.select(sample()).is_empty());
+    }
+
+    #[test]
+    fn random_is_a_strict_subset_usually() {
+        let kept = CrashPolicy::random(7).select(sample());
+        assert!(!kept.is_empty() && kept.len() < 100);
+    }
+}

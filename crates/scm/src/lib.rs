@@ -1,0 +1,57 @@
+//! Storage-class memory (SCM) device and performance emulator.
+//!
+//! This crate is the hardware substrate of the Mnemosyne reproduction
+//! (Volos, Tack, Swift — *Mnemosyne: Lightweight Persistent Memory*,
+//! ASPLOS 2011). It models, in software, everything §2, §4.1 and §6.1 of the
+//! paper assume about the machine:
+//!
+//! * a byte-addressable persistent **media** array attached to the memory
+//!   bus, with atomic 64-bit writes ([`media::Media`]);
+//! * a write-back **processor cache** in front of it — cacheable stores are
+//!   *not* durable until the line is flushed ([`cache::CacheModel`]);
+//! * per-thread **write-combining buffers** for streaming (`movntq`) stores,
+//!   which may retire out of order ([`wc::WcBuffer`]);
+//! * the four **hardware primitives** Mnemosyne builds on —
+//!   [`MemHandle::store`], [`MemHandle::wtstore`], [`MemHandle::flush`] and
+//!   [`MemHandle::fence`] (§4.1, Table 3);
+//! * the paper's §6.1 **performance emulator**: a configurable extra write
+//!   latency applied on flushes and fences plus a bandwidth model for
+//!   streaming sequences ([`clock`]);
+//! * **crash injection**: on a simulated failure, only data that actually
+//!   reached the media survives; anything in the cache or the
+//!   write-combining buffers is retired according to an adversarial
+//!   [`CrashPolicy`] at 64-bit granularity ([`ScmSim::crash`]).
+//!
+//! # Example
+//!
+//! ```
+//! use mnemosyne_scm::{ScmSim, ScmConfig, PAddr};
+//!
+//! let sim = ScmSim::new(ScmConfig::for_testing(1 << 20));
+//! let mem = sim.handle();
+//! // A write-through store followed by a fence is durable.
+//! mem.wtstore_u64(PAddr(64), 0xdead_beef);
+//! mem.fence();
+//! assert_eq!(mem.read_u64(PAddr(64)), 0xdead_beef);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod cache;
+pub mod clock;
+pub mod config;
+pub mod crash;
+pub mod media;
+pub mod sim;
+pub mod stats;
+pub mod tech;
+pub mod wc;
+
+pub use addr::{PAddr, CACHE_LINE, WORD};
+pub use clock::EmulationMode;
+pub use config::ScmConfig;
+pub use crash::CrashPolicy;
+pub use sim::{DmaHandle, MemHandle, ScmSim};
+pub use stats::MemStats;
+pub use tech::{TechPreset, TechSpec};

@@ -1,0 +1,584 @@
+//! The simulated machine: media + cache + write-combining buffers + clock,
+//! and the per-thread [`MemHandle`] exposing Mnemosyne's hardware
+//! primitives (§4.1, Table 3).
+
+use std::path::Path;
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use crate::addr::{PAddr, CACHE_LINE};
+use crate::cache::CacheModel;
+use crate::clock::{DelayEngine, EmulationMode, Stopwatch};
+use crate::config::ScmConfig;
+use crate::crash::CrashPolicy;
+use crate::media::Media;
+use crate::stats::{MemStats, StatsSnapshot};
+use crate::wc::WcBuffer;
+
+struct SimInner {
+    media: Media,
+    cache: CacheModel,
+    config: ScmConfig,
+    stats: MemStats,
+    /// Every live handle's write-combining buffer, so crash injection can
+    /// reach in-flight streaming stores of all threads. Weak: a handle
+    /// drains its buffer on drop (streaming stores retire eventually),
+    /// after which the registry entry is garbage and is pruned lazily.
+    wc_registry: Mutex<Vec<Weak<Mutex<WcBuffer>>>>,
+}
+
+/// A simulated machine with SCM attached to its memory bus.
+///
+/// Cloning is cheap (shared state); each thread should obtain its own
+/// [`MemHandle`] via [`ScmSim::handle`].
+#[derive(Clone)]
+pub struct ScmSim {
+    inner: Arc<SimInner>,
+}
+
+impl std::fmt::Debug for ScmSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScmSim")
+            .field("size", &self.inner.media.size())
+            .field("config", &self.inner.config)
+            .finish()
+    }
+}
+
+impl ScmSim {
+    /// Creates a machine with zeroed SCM.
+    pub fn new(config: ScmConfig) -> Self {
+        let media = Media::new(config.rounded_size());
+        Self::with_media(media, config)
+    }
+
+    /// Boots a machine from a previously captured media image (e.g. after a
+    /// crash or power-down).
+    pub fn from_image(image: &[u8], config: ScmConfig) -> Self {
+        let media = Media::from_image(image, config.rounded_size());
+        Self::with_media(media, config)
+    }
+
+    /// Boots a machine from a media file saved by [`ScmSim::shutdown_to`].
+    ///
+    /// # Errors
+    /// Returns any I/O error from reading the file.
+    pub fn load(path: &Path, config: ScmConfig) -> std::io::Result<Self> {
+        let media = Media::load(path, config.rounded_size())?;
+        Ok(Self::with_media(media, config))
+    }
+
+    fn with_media(media: Media, config: ScmConfig) -> Self {
+        let cache = CacheModel::new(config.cache_capacity_lines);
+        ScmSim {
+            inner: Arc::new(SimInner {
+                media,
+                cache,
+                config,
+                stats: MemStats::new(),
+                wc_registry: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Creates a per-thread memory handle with its own write-combining
+    /// buffer and delay engine. Handles are `Send` but deliberately not
+    /// `Sync`/`Clone`: one per hardware thread, like the real buffers.
+    pub fn handle(&self) -> MemHandle {
+        let wc = Arc::new(Mutex::new(WcBuffer::new()));
+        let mut registry = self.inner.wc_registry.lock();
+        registry.retain(|w| w.strong_count() > 0);
+        registry.push(Arc::downgrade(&wc));
+        drop(registry);
+        MemHandle {
+            inner: Arc::clone(&self.inner),
+            wc,
+            engine: DelayEngine::new(self.inner.config.mode),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &ScmConfig {
+        &self.inner.config
+    }
+
+    /// Device-wide operation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Injects a crash: every in-flight word (dirty cache words and pending
+    /// write-combining entries of *all* threads) is handed to `policy`,
+    /// which decides the retired subset; the rest is lost. Afterwards the
+    /// media holds exactly what a real machine's SCM would hold after the
+    /// failure. Handles remain usable — they model the rebooted machine's
+    /// (empty) cache.
+    pub fn crash(&self, policy: CrashPolicy) {
+        let mut pending = self.inner.cache.drain_pending();
+        for wc in self.inner.wc_registry.lock().iter() {
+            if let Some(wc) = wc.upgrade() {
+                pending.extend(wc.lock().take_pending());
+            }
+        }
+        for (addr, value) in policy.select(pending) {
+            self.inner.media.write_word(addr, value);
+        }
+        MemStats::bump(&self.inner.stats.crashes);
+    }
+
+    /// Captures the post-crash media image. Combined with
+    /// [`ScmSim::from_image`] this models power-off/power-on.
+    pub fn image(&self) -> Vec<u8> {
+        self.inner.media.image()
+    }
+
+    /// Orderly power-down: write every dirty line back, then save the media
+    /// image to `path`.
+    ///
+    /// # Errors
+    /// Returns any I/O error from writing the file.
+    pub fn shutdown_to(&self, path: &Path) -> std::io::Result<()> {
+        self.inner.cache.writeback_all(&self.inner.media);
+        self.drain_wc_all();
+        self.inner.media.save(path)
+    }
+
+    /// Drains every thread's write-combining buffer to the media, like a
+    /// system-wide store fence. The kernel's page-eviction path uses this
+    /// before copying a frame out, so no in-flight streaming store to the
+    /// victim page is lost. No latency is charged (kernel context).
+    pub fn drain_wc_all(&self) {
+        for wc in self.inner.wc_registry.lock().iter() {
+            if let Some(wc) = wc.upgrade() {
+                wc.lock().drain(&self.inner.media);
+            }
+        }
+    }
+
+    /// Direct media access for simulated DMA (the region manager uses this
+    /// to install page contents from backing files without going through
+    /// the cache, like a kernel driver would).
+    pub fn dma(&self) -> DmaHandle {
+        DmaHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Device size in bytes.
+    pub fn size(&self) -> u64 {
+        self.inner.media.size()
+    }
+}
+
+/// Uncached, unaccounted direct access to the media, standing in for kernel
+/// DMA during page swap-in/out. Not for application data paths.
+#[derive(Clone)]
+pub struct DmaHandle {
+    inner: Arc<SimInner>,
+}
+
+impl std::fmt::Debug for DmaHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DmaHandle").finish()
+    }
+}
+
+impl DmaHandle {
+    /// Bulk read directly from media. Ignores (volatile) cached data, which
+    /// is correct for swap-out only if callers flush first; the region
+    /// manager does.
+    pub fn read(&self, addr: PAddr, buf: &mut [u8]) {
+        self.inner.media.read_bytes(addr, buf);
+    }
+
+    /// Bulk write directly to media.
+    pub fn write(&self, addr: PAddr, data: &[u8]) {
+        self.inner.media.write_bytes(addr, data);
+    }
+
+    /// Flushes any cached (volatile) data for `len` bytes starting at
+    /// `addr` out to media, so a following [`DmaHandle::read`] sees current
+    /// contents. Used before swapping a page out.
+    pub fn flush_range(&self, addr: PAddr, len: u64) {
+        let first = addr.line_index();
+        let last = addr.add(len.saturating_sub(1).max(0)).line_index();
+        for line in first..=last {
+            self.inner.cache.flush_line(&self.inner.media, PAddr(line * CACHE_LINE));
+        }
+    }
+}
+
+/// A hardware thread's view of the memory system: the four Mnemosyne
+/// primitives plus loads (§4.1, Table 3).
+///
+/// `Send` (can move to a worker thread) but intentionally neither `Sync`
+/// nor `Clone`: the write-combining buffer and virtual clock are
+/// per-thread.
+pub struct MemHandle {
+    inner: Arc<SimInner>,
+    wc: Arc<Mutex<WcBuffer>>,
+    engine: DelayEngine,
+}
+
+impl std::fmt::Debug for MemHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemHandle")
+            .field("mode", &self.engine.mode())
+            .finish()
+    }
+}
+
+impl Drop for MemHandle {
+    /// Streaming stores retire eventually on real hardware even without a
+    /// fence, so an orderly handle drop drains its write-combining buffer
+    /// (a *crash* is the only thing that discards pending stores).
+    fn drop(&mut self) {
+        self.wc.lock().drain(&self.inner.media);
+    }
+}
+
+impl MemHandle {
+    /// Cacheable store (`mov`): visible to loads immediately, durable only
+    /// after [`MemHandle::flush`] + [`MemHandle::fence`] or eviction.
+    #[inline]
+    pub fn store(&self, addr: PAddr, data: &[u8]) {
+        MemStats::bump(&self.inner.stats.stores);
+        self.inner.cache.store_bytes(&self.inner.media, addr, data);
+    }
+
+    /// Cacheable store of one 64-bit word.
+    #[inline]
+    pub fn store_u64(&self, addr: PAddr, value: u64) {
+        self.store(addr, &value.to_le_bytes());
+    }
+
+    /// Streaming write-through store (`movntq`) of one word. Weakly
+    /// ordered: durable only after the next [`MemHandle::fence`], and until
+    /// then any subset of pending streaming stores may have retired.
+    ///
+    /// # Panics
+    /// Panics if `addr` is not 8-byte aligned.
+    #[inline]
+    pub fn wtstore_u64(&self, addr: PAddr, value: u64) {
+        MemStats::bump(&self.inner.stats.wtstore_words);
+        self.wc.lock().push(&self.inner.media, addr, value);
+    }
+
+    /// Streaming store of a word-aligned byte buffer whose length is a
+    /// multiple of 8 (streaming stores operate on whole words).
+    ///
+    /// # Panics
+    /// Panics if `addr` is unaligned or `data.len()` is not a multiple of 8.
+    pub fn wtstore(&self, addr: PAddr, data: &[u8]) {
+        assert!(addr.is_word_aligned(), "wtstore requires word alignment");
+        assert!(data.len() % 8 == 0, "wtstore length must be a multiple of 8");
+        let mut wc = self.wc.lock();
+        MemStats::add(&self.inner.stats.wtstore_words, (data.len() / 8) as u64);
+        for (i, chunk) in data.chunks_exact(8).enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            wc.push(&self.inner.media, addr.add(i as u64 * 8), u64::from_le_bytes(b));
+        }
+    }
+
+    /// Flushes the cache line containing `addr` (`clflush`). Charges PCM
+    /// write latency if the line was dirty (§6.1: "for cacheable writes we
+    /// insert the delay on the subsequent flush").
+    pub fn flush(&self, addr: PAddr) {
+        MemStats::bump(&self.inner.stats.flushes);
+        if self.inner.cache.flush_line(&self.inner.media, addr) {
+            MemStats::bump(&self.inner.stats.dirty_flushes);
+            self.engine.delay(self.inner.config.write_latency_ns);
+        }
+    }
+
+    /// Flushes every line overlapping `[addr, addr+len)`.
+    pub fn flush_range(&self, addr: PAddr, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = addr.line_index();
+        let last = addr.add(len - 1).line_index();
+        for line in first..=last {
+            self.flush(PAddr(line * CACHE_LINE));
+        }
+    }
+
+    /// Memory fence (`mfence`): drains this thread's write-combining buffer
+    /// to the media and stalls until outstanding writes are stable. Charges
+    /// the §6.1 delay: one write latency plus the streamed bytes divided by
+    /// the modelled bandwidth.
+    pub fn fence(&self) {
+        MemStats::bump(&self.inner.stats.fences);
+        let bytes = self.wc.lock().drain(&self.inner.media);
+        let bw_ns = (bytes as f64 / self.inner.config.write_bandwidth_bytes_per_ns) as u64;
+        self.engine.delay(self.inner.config.write_latency_ns + bw_ns);
+    }
+
+    /// Load of `buf.len()` bytes at `addr`. Sees dirty cached data (normal
+    /// coherent loads); does not snoop write-combining buffers, matching
+    /// the weak ordering of streaming stores.
+    pub fn read(&self, addr: PAddr, buf: &mut [u8]) {
+        MemStats::bump(&self.inner.stats.reads);
+        if self.inner.config.read_latency_ns > 0 {
+            self.engine.delay(self.inner.config.read_latency_ns);
+        }
+        self.inner.cache.read_bytes(&self.inner.media, addr, buf);
+    }
+
+    /// Load of one 64-bit word.
+    #[inline]
+    pub fn read_u64(&self, addr: PAddr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Nanoseconds of modelled SCM delay accounted on this handle.
+    pub fn accounted_ns(&self) -> u64 {
+        self.engine.accounted_ns()
+    }
+
+    /// Resets this handle's accounted-time counter.
+    pub fn reset_accounting(&self) {
+        self.engine.reset()
+    }
+
+    /// Starts a stopwatch appropriate for this handle's emulation mode
+    /// (wall clock for `None`/`Spin`, virtual clock for `Virtual`).
+    pub fn stopwatch(&self) -> HandleStopwatch<'_> {
+        HandleStopwatch {
+            sw: Stopwatch::start(&self.engine),
+            engine: &self.engine,
+        }
+    }
+
+    /// The emulation mode this handle runs under.
+    pub fn mode(&self) -> EmulationMode {
+        self.engine.mode()
+    }
+
+    /// Device-wide statistics snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Device size in bytes.
+    pub fn size(&self) -> u64 {
+        self.inner.media.size()
+    }
+}
+
+/// Stopwatch bound to a handle; see [`MemHandle::stopwatch`].
+#[derive(Debug)]
+pub struct HandleStopwatch<'a> {
+    sw: Stopwatch,
+    engine: &'a DelayEngine,
+}
+
+impl HandleStopwatch<'_> {
+    /// Elapsed nanoseconds in the handle's time domain.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.sw.elapsed_ns(self.engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> ScmSim {
+        ScmSim::new(ScmConfig::for_testing(1 << 20))
+    }
+
+    #[test]
+    fn store_then_flush_fence_is_durable_across_crash() {
+        let s = sim();
+        let m = s.handle();
+        m.store_u64(PAddr(256), 99);
+        m.flush(PAddr(256));
+        m.fence();
+        s.crash(CrashPolicy::DropAll);
+        let m2 = s.handle();
+        assert_eq!(m2.read_u64(PAddr(256)), 99);
+    }
+
+    #[test]
+    fn unflushed_store_lost_on_dropall_crash() {
+        let s = sim();
+        let m = s.handle();
+        m.store_u64(PAddr(256), 99);
+        s.crash(CrashPolicy::DropAll);
+        assert_eq!(s.handle().read_u64(PAddr(256)), 0);
+    }
+
+    #[test]
+    fn unfenced_wtstore_lost_on_dropall_crash() {
+        let s = sim();
+        let m = s.handle();
+        m.wtstore_u64(PAddr(512), 7);
+        s.crash(CrashPolicy::DropAll);
+        assert_eq!(s.handle().read_u64(PAddr(512)), 0);
+    }
+
+    #[test]
+    fn fenced_wtstore_survives_crash() {
+        let s = sim();
+        let m = s.handle();
+        m.wtstore_u64(PAddr(512), 7);
+        m.fence();
+        s.crash(CrashPolicy::DropAll);
+        assert_eq!(s.handle().read_u64(PAddr(512)), 7);
+    }
+
+    #[test]
+    fn random_crash_tears_multiword_update() {
+        let s = sim();
+        let m = s.handle();
+        for i in 0..64u64 {
+            m.wtstore_u64(PAddr(4096 + i * 8), u64::MAX);
+        }
+        s.crash(CrashPolicy::random(3));
+        let m2 = s.handle();
+        let survived = (0..64u64)
+            .filter(|i| m2.read_u64(PAddr(4096 + i * 8)) == u64::MAX)
+            .count();
+        assert!(survived > 0 && survived < 64, "expected a torn write, got {survived}/64");
+    }
+
+    #[test]
+    fn wtstore_bulk_roundtrip() {
+        let s = sim();
+        let m = s.handle();
+        let data: Vec<u8> = (0..64u8).collect();
+        m.wtstore(PAddr(1024), &data);
+        m.fence();
+        let mut back = vec![0u8; 64];
+        m.read(PAddr(1024), &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn image_reboot_cycle() {
+        let s = sim();
+        let m = s.handle();
+        m.store_u64(PAddr(0), 1);
+        m.flush(PAddr(0));
+        m.fence();
+        s.crash(CrashPolicy::DropAll);
+        let img = s.image();
+        let s2 = ScmSim::from_image(&img, ScmConfig::for_testing(1 << 20));
+        assert_eq!(s2.handle().read_u64(PAddr(0)), 1);
+    }
+
+    #[test]
+    fn virtual_mode_accounts_flush_latency() {
+        let s = ScmSim::new(ScmConfig::virtual_clock(1 << 16));
+        let m = s.handle();
+        m.store_u64(PAddr(0), 5);
+        m.flush(PAddr(0));
+        assert_eq!(m.accounted_ns(), 150);
+        m.fence(); // +150, nothing streamed
+        assert_eq!(m.accounted_ns(), 300);
+    }
+
+    #[test]
+    fn fence_charges_bandwidth_for_streaming() {
+        let s = ScmSim::new(ScmConfig::virtual_clock(1 << 16));
+        let m = s.handle();
+        for i in 0..512u64 {
+            m.wtstore_u64(PAddr(i * 8), i);
+        }
+        m.fence();
+        // 4096 bytes at 4 B/ns = 1024 ns, plus 150 ns write latency.
+        assert_eq!(m.accounted_ns(), 150 + 1024);
+    }
+
+    #[test]
+    fn flush_of_clean_line_costs_nothing() {
+        let s = ScmSim::new(ScmConfig::virtual_clock(1 << 16));
+        let m = s.handle();
+        m.flush(PAddr(128));
+        assert_eq!(m.accounted_ns(), 0);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let s = sim();
+        let m = s.handle();
+        m.store_u64(PAddr(0), 1);
+        m.wtstore_u64(PAddr(64), 2);
+        m.flush(PAddr(0));
+        m.fence();
+        m.read_u64(PAddr(0));
+        let st = s.stats();
+        assert_eq!(st.stores, 1);
+        assert_eq!(st.wtstore_words, 1);
+        assert_eq!(st.flushes, 1);
+        assert_eq!(st.dirty_flushes, 1);
+        assert_eq!(st.fences, 1);
+        assert_eq!(st.reads, 1);
+    }
+
+    #[test]
+    fn crash_reaches_other_threads_wc_buffers() {
+        let s = sim();
+        let s2 = s.clone();
+        let t = std::thread::spawn(move || {
+            let m = s2.handle();
+            m.wtstore_u64(PAddr(2048), 42);
+            m // keep the handle (and its WC buffer) alive across the crash
+        });
+        let _held = t.join().unwrap();
+        s.crash(CrashPolicy::ApplyAll);
+        assert_eq!(s.handle().read_u64(PAddr(2048)), 42);
+    }
+
+    #[test]
+    fn dropped_handle_drains_pending_writes() {
+        let s = sim();
+        {
+            let m = s.handle();
+            m.wtstore_u64(PAddr(2048), 42);
+            // handle dropped without a fence: streaming stores retire
+            // eventually on real hardware, so Drop drains them
+        }
+        s.crash(CrashPolicy::DropAll);
+        assert_eq!(s.handle().read_u64(PAddr(2048)), 42);
+    }
+
+    #[test]
+    fn dma_bypasses_cache() {
+        let s = sim();
+        let d = s.dma();
+        d.write(PAddr(0), &[9; 16]);
+        let mut b = [0u8; 16];
+        d.read(PAddr(0), &mut b);
+        assert_eq!(b, [9; 16]);
+        // Durable: survives DropAll crash.
+        s.crash(CrashPolicy::DropAll);
+        assert_eq!(s.handle().read_u64(PAddr(0)), u64::from_le_bytes([9; 8]));
+    }
+
+    #[test]
+    fn dma_flush_range_captures_cached_data() {
+        let s = sim();
+        let m = s.handle();
+        m.store_u64(PAddr(4096), 77);
+        let d = s.dma();
+        d.flush_range(PAddr(4096), 4096);
+        let mut b = [0u8; 8];
+        d.read(PAddr(4096), &mut b);
+        assert_eq!(u64::from_le_bytes(b), 77);
+    }
+
+    #[test]
+    fn handle_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<MemHandle>();
+        assert_send::<ScmSim>();
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<ScmSim>();
+    }
+}

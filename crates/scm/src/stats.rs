@@ -1,0 +1,104 @@
+//! Device-wide operation counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters of memory-system events, shared by all handles of a device.
+///
+/// These are used both by tests (asserting, e.g., that the tornbit log
+/// really issues a single fence per append) and by the micro-cost
+/// experiments.
+#[derive(Debug, Default)]
+pub struct MemStats {
+    /// Cacheable stores issued (`store`).
+    pub stores: AtomicU64,
+    /// Streaming words issued (`wtstore`).
+    pub wtstore_words: AtomicU64,
+    /// Cache-line flushes issued (`flush`), whether or not the line was dirty.
+    pub flushes: AtomicU64,
+    /// Flushes that found a dirty line and paid PCM write latency.
+    pub dirty_flushes: AtomicU64,
+    /// Fences issued.
+    pub fences: AtomicU64,
+    /// Reads issued.
+    pub reads: AtomicU64,
+    /// Crashes injected.
+    pub crashes: AtomicU64,
+}
+
+impl MemStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all counters as plain integers.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            stores: self.stores.load(Ordering::Relaxed),
+            wtstore_words: self.wtstore_words.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            dirty_flushes: self.dirty_flushes.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Plain-integer snapshot of [`MemStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[allow(missing_docs)]
+pub struct StatsSnapshot {
+    pub stores: u64,
+    pub wtstore_words: u64,
+    pub flushes: u64,
+    pub dirty_flushes: u64,
+    pub fences: u64,
+    pub reads: u64,
+    pub crashes: u64,
+}
+
+impl StatsSnapshot {
+    /// Difference of two snapshots (`self` - `earlier`), for measuring a
+    /// phase.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            stores: self.stores - earlier.stores,
+            wtstore_words: self.wtstore_words - earlier.wtstore_words,
+            flushes: self.flushes - earlier.flushes,
+            dirty_flushes: self.dirty_flushes - earlier.dirty_flushes,
+            fences: self.fences - earlier.fences,
+            reads: self.reads - earlier.reads,
+            crashes: self.crashes - earlier.crashes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_diff() {
+        let s = MemStats::new();
+        MemStats::bump(&s.fences);
+        MemStats::add(&s.wtstore_words, 5);
+        let a = s.snapshot();
+        MemStats::bump(&s.fences);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.fences, 1);
+        assert_eq!(d.wtstore_words, 0);
+        assert_eq!(b.wtstore_words, 5);
+    }
+}

@@ -1,0 +1,143 @@
+//! Table 1 of the paper: access latency and endurance of current and
+//! future memory technologies.
+//!
+//! These presets configure the emulator for the technologies the paper
+//! surveys and are printed verbatim by the `table1` experiment binary.
+
+use std::fmt;
+
+/// A memory technology row from Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechPreset {
+    /// Conventional DRAM (the baseline: zero extra latency).
+    Dram,
+    /// NAND flash — included in Table 1 for comparison only; the paper does
+    /// not consider flash to be storage-class memory (§2).
+    NandFlash,
+    /// Phase-change memory as shipping at publication time (Numonyx P8P).
+    PcmToday,
+    /// Projected PCM based on research prototypes (§2: reads matching DRAM,
+    /// writes 2–17x slower).
+    PcmPrototype,
+    /// Spin-torque-transfer RAM.
+    SttRam,
+}
+
+/// Characteristics of one technology: latency ranges in nanoseconds and
+/// endurance in overwrites.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Read latency range `[lo, hi]` in nanoseconds.
+    pub read_ns: (u64, u64),
+    /// Write latency range `[lo, hi]` in nanoseconds.
+    pub write_ns: (u64, u64),
+    /// Endurance (overwrites) range `[lo, hi]`.
+    pub endurance: (f64, f64),
+    /// Whether the row describes current ("today") or prospective hardware.
+    pub prospective: bool,
+}
+
+impl TechSpec {
+    /// Midpoint of the write latency range.
+    pub fn write_ns_mid(&self) -> u64 {
+        (self.write_ns.0 + self.write_ns.1) / 2
+    }
+
+    /// Midpoint of the read latency range.
+    pub fn read_ns_mid(&self) -> u64 {
+        (self.read_ns.0 + self.read_ns.1) / 2
+    }
+}
+
+impl TechPreset {
+    /// All Table 1 rows in paper order.
+    pub fn all() -> [TechPreset; 5] {
+        [
+            TechPreset::Dram,
+            TechPreset::NandFlash,
+            TechPreset::PcmToday,
+            TechPreset::PcmPrototype,
+            TechPreset::SttRam,
+        ]
+    }
+
+    /// The Table 1 data for this technology.
+    pub fn spec(self) -> TechSpec {
+        match self {
+            TechPreset::Dram => TechSpec {
+                name: "DRAM",
+                read_ns: (60, 60),
+                write_ns: (60, 60),
+                endurance: (1e16, 1e16),
+                prospective: false,
+            },
+            TechPreset::NandFlash => TechSpec {
+                name: "NAND Flash",
+                read_ns: (25_000, 25_000),
+                write_ns: (200_000, 500_000),
+                endurance: (1e4, 1e5),
+                prospective: false,
+            },
+            TechPreset::PcmToday => TechSpec {
+                name: "PCM (today)",
+                read_ns: (115, 115),
+                write_ns: (120_000, 120_000),
+                endurance: (1e6, 1e6),
+                prospective: false,
+            },
+            TechPreset::PcmPrototype => TechSpec {
+                name: "PCM (prototype)",
+                read_ns: (50, 85),
+                write_ns: (150, 1000),
+                endurance: (1e8, 1e12),
+                prospective: true,
+            },
+            TechPreset::SttRam => TechSpec {
+                name: "STT-RAM",
+                read_ns: (6, 6),
+                write_ns: (13, 13),
+                endurance: (1e15, 1e15),
+                prospective: true,
+            },
+        }
+    }
+}
+
+impl fmt::Display for TechPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.spec().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_five_rows() {
+        assert_eq!(TechPreset::all().len(), 5);
+    }
+
+    #[test]
+    fn prototype_pcm_write_range_matches_paper() {
+        let spec = TechPreset::PcmPrototype.spec();
+        assert_eq!(spec.write_ns, (150, 1000));
+        assert_eq!(spec.read_ns, (50, 85));
+        assert!(spec.prospective);
+    }
+
+    #[test]
+    fn dram_is_the_zero_point() {
+        let d = TechPreset::Dram.spec();
+        assert_eq!(d.write_ns_mid(), 60);
+        assert_eq!(d.read_ns_mid(), 60);
+    }
+
+    #[test]
+    fn flash_is_orders_of_magnitude_slower() {
+        let f = TechPreset::NandFlash.spec();
+        assert!(f.write_ns_mid() > 1000 * TechPreset::SttRam.spec().write_ns_mid());
+    }
+}

@@ -1,0 +1,47 @@
+//! A persistent key-value store in fifty lines: the paper's headline use
+//! case. An ordinary in-memory hash table — allocated with `pmalloc`,
+//! updated inside `atomic` blocks — simply *is* the database: no
+//! serialization, no storage engine, no fsync tuning (§1, §8).
+//!
+//! ```text
+//! cargo run --example persistent_kv -- set lang rust
+//! cargo run --example persistent_kv -- get lang
+//! cargo run --example persistent_kv -- del lang
+//! cargo run --example persistent_kv -- list
+//! ```
+
+use mnemosyne::Mnemosyne;
+use mnemosyne_pds::PHashTable;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = std::env::temp_dir().join("mnemosyne-kv");
+    let m = Mnemosyne::builder(&dir).scm_size(32 << 20).open()?;
+    let mut th = m.register_thread()?;
+    let table = PHashTable::open(&m, &mut th, "kv", 256)?;
+
+    match args.as_slice() {
+        [cmd, key, value] if cmd == "set" => {
+            table.put(&mut th, key.as_bytes(), value.as_bytes())?;
+            println!("ok");
+        }
+        [cmd, key] if cmd == "get" => match table.get(&mut th, key.as_bytes())? {
+            Some(v) => println!("{}", String::from_utf8_lossy(&v)),
+            None => println!("(not found)"),
+        },
+        [cmd, key] if cmd == "del" => {
+            let existed = table.remove(&mut th, key.as_bytes())?;
+            println!("{}", if existed { "deleted" } else { "(not found)" });
+        }
+        [cmd] if cmd == "list" => {
+            println!("{} key(s) stored", table.len(&mut th)?);
+        }
+        _ => {
+            eprintln!("usage: persistent_kv set <k> <v> | get <k> | del <k> | list");
+        }
+    }
+
+    drop(th);
+    m.shutdown()?;
+    Ok(())
+}

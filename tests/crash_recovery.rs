@@ -1,0 +1,139 @@
+//! System-level crash-recovery tests (§6.2 "Reliability"): crash the
+//! machine at nasty points with adversarial policies and verify every
+//! layer recovers to a consistent state.
+
+use std::path::PathBuf;
+
+use mnemosyne::{CrashPolicy, Mnemosyne, Truncation};
+use mnemosyne_pds::{PBPlusTree, PHashTable, PRbTree};
+
+fn dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "it-crash-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+#[test]
+fn repeated_crash_reboot_cycles_accumulate_state() {
+    let d = dir("cycles");
+    let mut m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+    for round in 0..6u64 {
+        let counter = m.pstatic("rounds", 8).unwrap();
+        let mut th = m.register_thread().unwrap();
+        let seen = th.atomic(|tx| tx.read_u64(counter)).unwrap();
+        assert_eq!(seen, round, "state lost across crash {round}");
+        th.atomic(|tx| tx.write_u64(counter, seen + 1)).unwrap();
+        drop(th);
+        m = m.crash_reboot(CrashPolicy::random(round * 7 + 1)).unwrap();
+    }
+    std::fs::remove_dir_all(&d).ok();
+}
+
+#[test]
+fn hashtable_consistent_after_crash_between_every_batch() {
+    let d = dir("hash");
+    let mut m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+    let mut inserted = 0u64;
+    for round in 0..4u64 {
+        let mut th = m.register_thread().unwrap();
+        let h = PHashTable::open(&m, &mut th, "h", 64).unwrap();
+        // Verify everything previously inserted is intact.
+        for i in 0..inserted {
+            assert_eq!(
+                h.get(&mut th, &i.to_le_bytes()).unwrap().unwrap(),
+                vec![(i % 256) as u8; 48],
+                "entry {i} lost after crash {round}"
+            );
+        }
+        for i in inserted..inserted + 50 {
+            h.put(&mut th, &i.to_le_bytes(), &vec![(i % 256) as u8; 48])
+                .unwrap();
+        }
+        inserted += 50;
+        drop(th);
+        m = m.crash_reboot(CrashPolicy::random(round + 100)).unwrap();
+    }
+    std::fs::remove_dir_all(&d).ok();
+}
+
+#[test]
+fn async_mode_trees_survive_dropall_crash() {
+    // Async truncation = data often still volatile at crash time; the
+    // redo logs must carry the structures across.
+    let d = dir("async");
+    let m = Mnemosyne::builder(&d)
+        .scm_size(64 << 20)
+        .truncation(Truncation::Async)
+        .open()
+        .unwrap();
+    {
+        let mut th = m.register_thread().unwrap();
+        let bpt = PBPlusTree::open(&m, &mut th, "bpt").unwrap();
+        let rbt = PRbTree::open(&m, "rbt").unwrap();
+        for i in 0..150u64 {
+            bpt.insert(&mut th, i, &i.to_le_bytes()).unwrap();
+            rbt.insert(&mut th, i, &[i as u8; 8]).unwrap();
+        }
+    }
+    let m2 = m.crash_reboot(CrashPolicy::DropAll).unwrap();
+    let mut th = m2.register_thread().unwrap();
+    let bpt = PBPlusTree::open(&m2, &mut th, "bpt").unwrap();
+    let rbt = PRbTree::open(&m2, "rbt").unwrap();
+    assert_eq!(bpt.keys(&mut th).unwrap().len(), 150);
+    assert_eq!(rbt.check_invariants(&mut th).unwrap(), 150);
+    std::fs::remove_dir_all(&d).ok();
+}
+
+#[test]
+fn heap_never_double_allocates_across_crashes() {
+    let d = dir("heap");
+    let mut m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+    let mut live: Vec<(u64, mnemosyne::VAddr)> = Vec::new();
+    for round in 0..4u64 {
+        let cells = m.pstatic("cells", 8 * 256).unwrap();
+        let heap = m.heap().clone();
+        // Check earlier allocations are still live and distinct.
+        for &(_, a) in &live {
+            assert!(heap.usable_size(a).is_some(), "allocation lost in crash");
+        }
+        for i in 0..40u64 {
+            let slot = round * 40 + i;
+            let a = heap.pmalloc(32, cells.add((slot % 256) * 8)).unwrap();
+            assert!(
+                !live.iter().any(|&(_, b)| b == a),
+                "heap handed out a live block again after crash {round}"
+            );
+            live.push((slot, a));
+        }
+        m = m.crash_reboot(CrashPolicy::random(round + 77)).unwrap();
+    }
+    std::fs::remove_dir_all(&d).ok();
+}
+
+#[test]
+fn graceful_shutdown_then_crash_free_reopen() {
+    let d = dir("mixed");
+    {
+        let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+        let v = m.pstatic("x", 8).unwrap();
+        let mut th = m.register_thread().unwrap();
+        th.atomic(|tx| tx.write_u64(v, 1)).unwrap();
+        drop(th);
+        m.shutdown().unwrap();
+    }
+    // Reopen from files, update, crash, reboot from image.
+    let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+    let v = m.pstatic("x", 8).unwrap();
+    let mut th = m.register_thread().unwrap();
+    th.atomic(|tx| tx.write_u64(v, 2)).unwrap();
+    drop(th);
+    let m2 = m.crash_reboot(CrashPolicy::DropAll).unwrap();
+    let v = m2.pstatic("x", 8).unwrap();
+    let mut th = m2.register_thread().unwrap();
+    assert_eq!(th.atomic(|tx| tx.read_u64(v)).unwrap(), 2);
+    std::fs::remove_dir_all(&d).ok();
+}

@@ -1,0 +1,153 @@
+//! Crash stress (§6.2): the paper's seeded random-update program, run
+//! across many adversarial crash seeds. Every crash must leave memory
+//! holding exactly the values of the last committed round.
+
+use std::path::PathBuf;
+
+use mnemosyne::{CrashPolicy, Mnemosyne, Truncation};
+
+fn dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "it-stress-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn lcg(x: u64) -> u64 {
+    x.wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+}
+
+/// One stress iteration: run `rounds` of seeded updates under the given
+/// truncation regime, crash with `seed`, verify on reboot.
+fn stress(tag: &str, truncation: Truncation, seed: u64, rounds: u64) {
+    const CELLS: u64 = 128;
+    let d = dir(&format!("{tag}-{seed}"));
+    let m = Mnemosyne::builder(&d)
+        .scm_size(48 << 20)
+        .truncation(truncation)
+        .open()
+        .unwrap();
+    let area = m.pstatic("cells", CELLS * 8).unwrap();
+    let round_cell = m.pstatic("round", 8).unwrap();
+    let mut th = m.register_thread().unwrap();
+    for round in 1..=rounds {
+        // One transaction per round: cells + the round counter move
+        // together or not at all.
+        th.atomic(|tx| {
+            let mut x = round ^ (seed << 16);
+            for i in 0..CELLS {
+                x = lcg(x);
+                tx.write_u64(area.add(i * 8), x)?;
+            }
+            tx.write_u64(round_cell, round)?;
+            Ok(())
+        })
+        .unwrap();
+    }
+    drop(th);
+
+    let m2 = m.crash_reboot(CrashPolicy::random(seed)).unwrap();
+    let area = m2.pstatic("cells", CELLS * 8).unwrap();
+    let round_cell = m2.pstatic("round", 8).unwrap();
+    let mut th = m2.register_thread().unwrap();
+    let round = th.atomic(|tx| tx.read_u64(round_cell)).unwrap();
+    assert_eq!(round, rounds, "all rounds committed before the crash");
+    let mut x = round ^ (seed << 16);
+    for i in 0..CELLS {
+        x = lcg(x);
+        let got = th
+            .atomic(|tx| tx.read_u64(area.add(i * 8)))
+            .unwrap();
+        assert_eq!(
+            got, x,
+            "[{tag} seed {seed}] cell {i} does not match round {round}"
+        );
+    }
+    drop(th);
+    std::fs::remove_dir_all(&d).ok();
+}
+
+#[test]
+fn sync_truncation_many_seeds() {
+    for seed in 1..=8u64 {
+        stress("sync", Truncation::Sync, seed, 10);
+    }
+}
+
+#[test]
+fn async_truncation_many_seeds() {
+    // Async truncation is the adversarial case: the data of committed
+    // rounds is usually still in the cache at crash time and must be
+    // replayed from the per-thread redo logs.
+    for seed in 100..=107u64 {
+        stress("async", Truncation::Async, seed, 10);
+    }
+}
+
+#[test]
+fn extreme_policies() {
+    stress("dropall", Truncation::Async, 1, 5);
+    for (i, p) in [0.1f64, 0.9].iter().enumerate() {
+        let seed = 500 + i as u64;
+        // Inline variant with custom probability.
+        const CELLS: u64 = 64;
+        let d = dir(&format!("policy-{seed}"));
+        let m = Mnemosyne::builder(&d)
+            .scm_size(48 << 20)
+            .truncation(Truncation::Async)
+            .open()
+            .unwrap();
+        let area = m.pstatic("cells", CELLS * 8).unwrap();
+        let mut th = m.register_thread().unwrap();
+        th.atomic(|tx| {
+            for c in 0..CELLS {
+                tx.write_u64(area.add(c * 8), c + 1)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        drop(th);
+        let m2 = m
+            .crash_reboot(CrashPolicy::Random {
+                seed,
+                apply_probability: *p,
+            })
+            .unwrap();
+        let area = m2.pstatic("cells", CELLS * 8).unwrap();
+        let mut th = m2.register_thread().unwrap();
+        for c in 0..CELLS {
+            assert_eq!(
+                th.atomic(|tx| tx.read_u64(area.add(c * 8))).unwrap(),
+                c + 1,
+                "probability {p}: cell {c}"
+            );
+        }
+        drop(th);
+        std::fs::remove_dir_all(&d).ok();
+    }
+}
+
+#[test]
+fn uncommitted_work_never_surfaces() {
+    // A transaction that cancels right before the crash must leave no
+    // trace, no matter the crash policy.
+    let d = dir("uncommitted");
+    let m = Mnemosyne::builder(&d).scm_size(48 << 20).open().unwrap();
+    let cell = m.pstatic("v", 8).unwrap();
+    let mut th = m.register_thread().unwrap();
+    th.atomic(|tx| tx.write_u64(cell, 10)).unwrap();
+    let _ = th.atomic(|tx| {
+        tx.write_u64(cell, 99)?;
+        Err::<(), _>(tx.cancel())
+    });
+    drop(th);
+    let m2 = m.crash_reboot(CrashPolicy::ApplyAll).unwrap();
+    let cell = m2.pstatic("v", 8).unwrap();
+    let mut th = m2.register_thread().unwrap();
+    assert_eq!(th.atomic(|tx| tx.read_u64(cell)).unwrap(), 10);
+    std::fs::remove_dir_all(&d).ok();
+}

@@ -1,0 +1,226 @@
+//! Cross-crate integration: the full stack (regions + heap + transactions
+//! + data structures) working together.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mnemosyne::{Mnemosyne, VAddr};
+use mnemosyne_pds::{PAvlTree, PBPlusTree, PHashTable, PRbTree};
+
+fn dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "it-tx-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+#[test]
+fn all_structures_coexist_in_one_stack() {
+    let d = dir("coexist");
+    let m = Mnemosyne::builder(&d).scm_size(128 << 20).open().unwrap();
+    let mut th = m.register_thread().unwrap();
+    let hash = PHashTable::open(&m, &mut th, "hash", 64).unwrap();
+    let avl = PAvlTree::open(&m, "avl").unwrap();
+    let bpt = PBPlusTree::open(&m, &mut th, "bpt").unwrap();
+    let rbt = PRbTree::open(&m, "rbt").unwrap();
+
+    for i in 0..100u64 {
+        hash.put(&mut th, &i.to_le_bytes(), b"h").unwrap();
+        avl.insert(&mut th, &i.to_le_bytes(), b"a").unwrap();
+        bpt.insert(&mut th, i, b"b").unwrap();
+        rbt.insert(&mut th, i, b"r").unwrap();
+    }
+    assert_eq!(hash.len(&mut th).unwrap(), 100);
+    assert_eq!(avl.check_invariants(&mut th).unwrap(), 100);
+    assert_eq!(bpt.keys(&mut th).unwrap().len(), 100);
+    assert_eq!(rbt.check_invariants(&mut th).unwrap(), 100);
+    std::fs::remove_dir_all(&d).ok();
+}
+
+#[test]
+fn cross_structure_transaction_is_atomic() {
+    // One transaction moving a value between two structures: after a
+    // cancel, neither side changed.
+    let d = dir("atomic");
+    let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+    let from = m.pstatic("from", 8).unwrap();
+    let to = m.pstatic("to", 8).unwrap();
+    let mut th = m.register_thread().unwrap();
+    th.atomic(|tx| {
+        tx.write_u64(from, 100)?;
+        tx.write_u64(to, 0)?;
+        Ok(())
+    })
+    .unwrap();
+    // A transfer that cancels midway must not be visible.
+    let r = th.atomic(|tx| {
+        let f = tx.read_u64(from)?;
+        tx.write_u64(from, f - 30)?;
+        tx.write_u64(to, 30)?;
+        Err::<(), _>(tx.cancel())
+    });
+    assert!(r.is_err());
+    let (f, t) = th
+        .atomic(|tx| Ok((tx.read_u64(from)?, tx.read_u64(to)?)))
+        .unwrap();
+    assert_eq!((f, t), (100, 0), "cancelled transfer leaked");
+    // And a committed one is fully visible.
+    th.atomic(|tx| {
+        let f = tx.read_u64(from)?;
+        tx.write_u64(from, f - 30)?;
+        tx.write_u64(to, 30)?;
+        Ok(())
+    })
+    .unwrap();
+    let (f, t) = th
+        .atomic(|tx| Ok((tx.read_u64(from)?, tx.read_u64(to)?)))
+        .unwrap();
+    assert_eq!((f, t), (70, 30));
+    std::fs::remove_dir_all(&d).ok();
+}
+
+#[test]
+fn bank_invariant_under_concurrency() {
+    // Classic STM test: concurrent random transfers preserve the total.
+    let d = dir("bank");
+    let m = Arc::new(Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap());
+    const ACCOUNTS: u64 = 32;
+    const TOTAL: u64 = ACCOUNTS * 100;
+    let area = m.pstatic("accounts", ACCOUNTS * 8).unwrap();
+    {
+        let mut th = m.register_thread().unwrap();
+        th.atomic(|tx| {
+            for a in 0..ACCOUNTS {
+                tx.write_u64(area.add(a * 8), 100)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+    let mut joins = Vec::new();
+    for t in 0..4u64 {
+        let m = Arc::clone(&m);
+        joins.push(std::thread::spawn(move || {
+            let mut th = m.register_thread().unwrap();
+            let mut x = t + 1;
+            for _ in 0..300 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let from = x % ACCOUNTS;
+                let to = (x >> 8) % ACCOUNTS;
+                if from == to {
+                    continue;
+                }
+                th.atomic(|tx| {
+                    let f = tx.read_u64(area.add(from * 8))?;
+                    if f == 0 {
+                        return Ok(());
+                    }
+                    let amount = 1 + x % f.min(10);
+                    tx.write_u64(area.add(from * 8), f - amount)?;
+                    let tv = tx.read_u64(area.add(to * 8))?;
+                    tx.write_u64(area.add(to * 8), tv + amount)?;
+                    Ok(())
+                })
+                .unwrap();
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let mut th = m.register_thread().unwrap();
+    let sum = th
+        .atomic(|tx| {
+            let mut s = 0u64;
+            for a in 0..ACCOUNTS {
+                s += tx.read_u64(area.add(a * 8))?;
+            }
+            Ok(s)
+        })
+        .unwrap();
+    assert_eq!(sum, TOTAL, "money created or destroyed under concurrency");
+    std::fs::remove_dir_all(&d).ok();
+}
+
+#[test]
+fn heap_pointers_roundtrip_through_transactions() {
+    // Build a linked list through tx.pmalloc, walk it back, free it.
+    let d = dir("list");
+    let m = Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap();
+    let head = m.pstatic("head", 8).unwrap();
+    let mut th = m.register_thread().unwrap();
+    for i in 0..50u64 {
+        th.atomic(|tx| {
+            let node = tx.pmalloc(16)?;
+            let old_head = tx.read_u64(head)?;
+            tx.write_u64(node, old_head)?;
+            tx.write_u64(node.add(8), i)?;
+            tx.write_u64(head, node.0)?;
+            Ok(())
+        })
+        .unwrap();
+    }
+    let values = th
+        .atomic(|tx| {
+            let mut out = Vec::new();
+            let mut cur = VAddr(tx.read_u64(head)?);
+            while !cur.is_null() {
+                out.push(tx.read_u64(cur.add(8))?);
+                cur = VAddr(tx.read_u64(cur)?);
+            }
+            Ok(out)
+        })
+        .unwrap();
+    assert_eq!(values, (0..50u64).rev().collect::<Vec<_>>());
+    // Free the list.
+    let heap_frees_before = m.heap().stats().frees;
+    th.atomic(|tx| {
+        let mut cur = VAddr(tx.read_u64(head)?);
+        while !cur.is_null() {
+            let next = VAddr(tx.read_u64(cur)?);
+            tx.pfree(cur);
+            cur = next;
+        }
+        tx.write_u64(head, 0)?;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(m.heap().stats().frees - heap_frees_before, 50);
+    std::fs::remove_dir_all(&d).ok();
+}
+
+#[test]
+fn swapping_under_memory_pressure_preserves_data() {
+    // SCM smaller than the working set: the region manager must swap
+    // pages to backing files and fault them back transparently.
+    let d = dir("swap");
+    let m = Mnemosyne::builder(&d)
+        .scm_size(24 << 20)
+        .heap_sizes(4 << 20, 4 << 20)
+        .open()
+        .unwrap();
+    let pmem = m.pmem_handle();
+    let regions = m.regions();
+    let big = regions.pmap("big", 8 << 20, &pmem).unwrap();
+    // Touch far more pages than stay resident comfortably.
+    for page in 0..(8 << 20) / 4096u64 {
+        pmem.store_u64(big.addr.add(page * 4096), page ^ 0xabcd);
+        if page % 64 == 0 {
+            pmem.fence();
+        }
+    }
+    pmem.fence();
+    // Force eviction of a batch and read everything back.
+    m.manager().reclaim(256).unwrap();
+    for page in 0..(8 << 20) / 4096u64 {
+        assert_eq!(
+            pmem.read_u64(big.addr.add(page * 4096)),
+            page ^ 0xabcd,
+            "page {page} lost in swap"
+        );
+    }
+    std::fs::remove_dir_all(&d).ok();
+}
