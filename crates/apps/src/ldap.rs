@@ -289,7 +289,10 @@ impl Workload {
                 ("cn".into(), format!("User {i}")),
                 ("sn".into(), format!("Number{i}")),
                 ("mail".into(), format!("user.{i}@example.com")),
-                ("telephoneNumber".into(), format!("+1 555 {:07}", i % 10_000_000)),
+                (
+                    "telephoneNumber".into(),
+                    format!("+1 555 {:07}", i % 10_000_000),
+                ),
                 (
                     "description".into(),
                     format!("Generated directory entry number {i} for the SLAMD-like add workload"),

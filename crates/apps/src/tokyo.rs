@@ -181,7 +181,7 @@ mod tests {
 
     fn exercise(store: &mut dyn KvStore) {
         for i in 0..100u64 {
-            store.insert(i, &vec![(i % 251) as u8; 64]).unwrap();
+            store.insert(i, &[(i % 251) as u8; 64]).unwrap();
         }
         for i in 0..100u64 {
             assert_eq!(store.get(i).unwrap().unwrap(), vec![(i % 251) as u8; 64]);
@@ -219,9 +219,7 @@ mod tests {
             std::thread::current().id()
         ));
         std::fs::remove_dir_all(&d).ok();
-        let m = Arc::new(
-            Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap(),
-        );
+        let m = Arc::new(Mnemosyne::builder(&d).scm_size(64 << 20).open().unwrap());
         let mut s = MnemosyneTokyo::open(&m, "tc").unwrap();
         exercise(&mut s);
         std::fs::remove_dir_all(&d).ok();
@@ -243,7 +241,7 @@ mod tests {
                 s.insert(i, &[7u8; 64]).unwrap();
             }
         }
-        let m = Arc::try_unwrap(m).ok().expect("sole owner");
+        let m = Arc::try_unwrap(m).expect("sole owner");
         let m2 = Arc::new(m.crash_reboot(CrashPolicy::random(3)).unwrap());
         let mut s = MnemosyneTokyo::open(&m2, "tc").unwrap();
         for i in 0..50u64 {

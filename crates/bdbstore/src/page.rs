@@ -150,7 +150,10 @@ impl Page {
             }
         };
         let need = 4 + key.len() + payload.len();
-        assert!(need <= self.free_space(), "page overflow: caller must check");
+        assert!(
+            need <= self.free_space(),
+            "page overflow: caller must check"
+        );
         let off = HEADER + self.used() as usize;
         self.0[off..off + 2].copy_from_slice(&(key.len() as u16).to_le_bytes());
         self.0[off + 2..off + 4].copy_from_slice(&vword.to_le_bytes());
@@ -283,6 +286,8 @@ mod tests {
     #[test]
     fn oversize_key_rejected() {
         let mut p = Page::default();
-        assert!(p.push(&vec![0u8; KEY_MAX + 1], &Value::Inline(vec![])).is_err());
+        assert!(p
+            .push(&vec![0u8; KEY_MAX + 1], &Value::Inline(vec![]))
+            .is_err());
     }
 }

@@ -168,7 +168,9 @@ impl BdbStore {
 
     fn read_page(&self, id: u32) -> Result<Page, StoreError> {
         let mut buf = vec![0u8; PAGE_SIZE];
-        let n = self.fs.pread(&self.data_file, id as u64 * PAGE_SIZE as u64, &mut buf)?;
+        let n = self
+            .fs
+            .pread(&self.data_file, id as u64 * PAGE_SIZE as u64, &mut buf)?;
         buf[n..].fill(0);
         Ok(Page::from_bytes(buf))
     }
@@ -206,9 +208,9 @@ impl BdbStore {
             Value::Inline(b) => Ok(b.clone()),
             Value::Spilled(start, len) => {
                 let mut buf = vec![0u8; *len];
-                let n = self
-                    .fs
-                    .pread(&self.data_file, *start as u64 * PAGE_SIZE as u64, &mut buf)?;
+                let n =
+                    self.fs
+                        .pread(&self.data_file, *start as u64 * PAGE_SIZE as u64, &mut buf)?;
                 buf[n..].fill(0);
                 Ok(buf)
             }
@@ -239,11 +241,7 @@ impl BdbStore {
             Value::Inline(value.to_vec())
         };
         // Find a chain page with room.
-        let need = Page::entry_size(
-            key.len(),
-            value.len(),
-            matches!(stored, Value::Spilled(..)),
-        );
+        let need = Page::entry_size(key.len(), value.len(), matches!(stored, Value::Spilled(..)));
         let mut id = bucket + 1;
         loop {
             let mut page = self.read_page(id)?;
@@ -304,7 +302,7 @@ impl BdbStore {
             }
             Durability::Ldbm { flush_every } => {
                 let n = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
-                if flush_every > 0 && n % flush_every == 0 {
+                if flush_every > 0 && n.is_multiple_of(flush_every) {
                     self.fs.sync();
                 }
             }
@@ -445,7 +443,7 @@ mod tests {
             ..StoreConfig::default()
         });
         for i in 0..500u32 {
-            s.put(format!("key-{i}").as_bytes(), &vec![0xab; 64]).unwrap();
+            s.put(format!("key-{i}").as_bytes(), &[0xab; 64]).unwrap();
         }
         for i in 0..500u32 {
             assert_eq!(

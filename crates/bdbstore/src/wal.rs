@@ -319,7 +319,8 @@ mod tests {
         });
         w.commit(lsn).unwrap();
         // Simulate a torn append: header claiming more bytes than exist.
-        fs.pwrite("wal.log", lsn, &[1u8, 255, 0, 0, 0, 9, 9, 0, 0]).unwrap();
+        fs.pwrite("wal.log", lsn, &[1u8, 255, 0, 0, 0, 9, 9, 0, 0])
+            .unwrap();
         let recs = w.read_all().unwrap();
         assert_eq!(recs.len(), 1);
     }

@@ -1,0 +1,8 @@
+//! Runs the §6.2 reliability sweep: systematic crash-point enumeration
+//! plus seeded corruption injection. Pass --full (or set
+//! REPRO_SCALE=full) for the 512-point sweep.
+
+fn main() {
+    let scale = mnemosyne_bench::Scale::from_env();
+    mnemosyne_bench::exp::reliability::run(scale);
+}

@@ -12,4 +12,5 @@ fn main() {
     mnemosyne_bench::exp::fig7::run(scale);
     mnemosyne_bench::exp::microcosts::run(scale);
     mnemosyne_bench::exp::reincarnation::run(scale);
+    mnemosyne_bench::exp::reliability::run(scale);
 }

@@ -17,7 +17,10 @@ BDB lower at >2048 B; MTM latency roughly flat with threads";
 
 /// Runs and prints Figure 4.
 pub fn run(scale: Scale) {
-    banner("Figure 4: hashtable write latency (us), MTM vs Berkeley DB", scale);
+    banner(
+        "Figure 4: hashtable write latency (us), MTM vs Berkeley DB",
+        scale,
+    );
     println!("{PAPER_NOTE}");
     let inserts = scale.pick(300, 3000);
     println!(

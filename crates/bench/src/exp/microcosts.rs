@@ -42,7 +42,10 @@ fn tx_latency_ns(
 
 /// Runs and prints the micro-cost measurements.
 pub fn run(scale: Scale) {
-    banner("§6.3 micro-costs: per-word logging and per-line commit", scale);
+    banner(
+        "§6.3 micro-costs: per-word logging and per-line commit",
+        scale,
+    );
     println!("{PAPER_NOTE}");
     let iters = scale.pick(200, 2000);
     let rig = TestRig::new();
@@ -70,6 +73,10 @@ pub fn run(scale: Scale) {
     println!("{:<26} {:>12}", "shape", "latency");
     for (words, lines) in [(1u64, 1u64), (8, 1), (15, 5), (64, 8), (128, 64), (512, 64)] {
         let ns = tx_latency_ns(&m, base, words, lines, iters);
-        println!("{:<26} {:>12.0}", format!("{words} words / {lines} lines"), ns);
+        println!(
+            "{:<26} {:>12.0}",
+            format!("{words} words / {lines} lines"),
+            ns
+        );
     }
 }

@@ -7,6 +7,7 @@ pub mod fig7;
 pub mod hashbench;
 pub mod microcosts;
 pub mod reincarnation;
+pub mod reliability;
 pub mod table1;
 pub mod table4;
 pub mod table5;

@@ -136,7 +136,10 @@ pub fn run(scale: Scale) {
             .open()
             .expect("recover");
         let dt = t0.elapsed();
-        assert!(m.mtm().stats().replayed > 0, "expected pending transactions");
+        assert!(
+            m.mtm().stats().replayed > 0,
+            "expected pending transactions"
+        );
         // Second boot from the *recovered* state has nothing to replay.
         let (_, img3) = m.crash(CrashPolicy::DropAll);
         let t1 = Instant::now();

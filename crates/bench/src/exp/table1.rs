@@ -28,7 +28,11 @@ pub fn run(scale: Scale) {
             if lo == hi {
                 format!("1e{}", lo.log10().round() as i64)
             } else {
-                format!("1e{}-1e{}", lo.log10().round() as i64, hi.log10().round() as i64)
+                format!(
+                    "1e{}-1e{}",
+                    lo.log10().round() as i64,
+                    hi.log10().round() as i64
+                )
             }
         };
         println!(
@@ -40,9 +44,7 @@ pub fn run(scale: Scale) {
             if s.prospective { "proj." } else { "today" }
         );
     }
-    println!(
-        "\nemulator default: PCM prototype, 150 ns extra write latency, 4 GB/s streaming"
-    );
+    println!("\nemulator default: PCM prototype, 150 ns extra write latency, 4 GB/s streaming");
 }
 
 fn format_ns(ns: u64) -> String {

@@ -51,13 +51,14 @@ fn tokyo_throughput(store: &mut dyn KvStore, value_size: usize, inserts: u64) ->
 
 /// Runs and prints Table 4.
 pub fn run(scale: Scale) {
-    banner("Table 4: OpenLDAP and Tokyo Cabinet update throughput", scale);
+    banner(
+        "Table 4: OpenLDAP and Tokyo Cabinet update throughput",
+        scale,
+    );
     println!("{PAPER_NOTE}");
     let threads = scale.pick(4, 16) as usize;
     let per_thread = scale.pick(400, 6_250);
-    println!(
-        "\nOpenLDAP SLAMD-like add workload, {threads} threads x {per_thread} entries:"
-    );
+    println!("\nOpenLDAP SLAMD-like add workload, {threads} threads x {per_thread} entries:");
     println!("{:<22} {:>14}", "backend", "updates/s");
 
     {

@@ -23,7 +23,9 @@ impl Scale {
     /// Reads the scale from `REPRO_SCALE` / argv.
     pub fn from_env() -> Scale {
         let arg_full = std::env::args().any(|a| a == "--full");
-        let env_full = std::env::var("REPRO_SCALE").map(|v| v == "full").unwrap_or(false);
+        let env_full = std::env::var("REPRO_SCALE")
+            .map(|v| v == "full")
+            .unwrap_or(false);
         if arg_full || env_full {
             Scale::Full
         } else {
@@ -58,10 +60,7 @@ impl TestRig {
     pub fn new() -> TestRig {
         static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "mnemo-bench-{}-{n}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("mnemo-bench-{}-{n}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         TestRig { dir }
@@ -69,7 +68,12 @@ impl TestRig {
 
     /// Boots a Mnemosyne stack with the paper's §6.1 emulation (spin
     /// delays, `latency_ns` extra write latency, 4 GB/s).
-    pub fn mnemosyne(&self, scm_mb: u64, latency_ns: u64, truncation: Truncation) -> Arc<Mnemosyne> {
+    pub fn mnemosyne(
+        &self,
+        scm_mb: u64,
+        latency_ns: u64,
+        truncation: Truncation,
+    ) -> Arc<Mnemosyne> {
         let mut config = ScmConfig::paper_default(scm_mb << 20);
         config.write_latency_ns = latency_ns;
         config.mode = EmulationMode::Spin;
@@ -143,7 +147,7 @@ pub fn commas(v: f64) -> String {
     let s = n.abs().to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

@@ -54,13 +54,16 @@ pub use mnemosyne_pheap::{HeapConfig, HeapError, PHeap};
 pub use mnemosyne_rawl::{CommitRecordLog, LogError, TornbitLog};
 pub use mnemosyne_region::{PMem, Region, RegionError, RegionManager, Regions, VAddr};
 pub use mnemosyne_scm::{
-    CrashPolicy, EmulationMode, MemHandle, PAddr, ScmConfig, ScmSim, TechPreset,
+    crash_payload, CrashPolicy, CrashRequested, EmulationMode, FaultPlan, FaultSite, MemHandle,
+    PAddr, ScmConfig, ScmSim, TechPreset,
 };
 
 mod pstatic;
+pub mod sweep;
 mod updates;
 
 pub use pstatic::PSTATIC_SLOTS;
+pub use sweep::{crash_sweep, SweepConfig, SweepFailure, SweepReport};
 pub use updates::PCell;
 
 /// Everything that can go wrong when booting or running the stack.
@@ -141,6 +144,8 @@ pub struct MnemosyneBuilder {
     heap_config: HeapConfig,
     mtm_config: MtmConfig,
     image: Option<Vec<u8>>,
+    sim: Option<ScmSim>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl MnemosyneBuilder {
@@ -152,6 +157,8 @@ impl MnemosyneBuilder {
             heap_config: HeapConfig::default(),
             mtm_config: MtmConfig::default(),
             image: None,
+            sim: None,
+            fault_plan: None,
         }
     }
 
@@ -213,6 +220,24 @@ impl MnemosyneBuilder {
         self
     }
 
+    /// Boots over an already-constructed machine instead of creating one.
+    ///
+    /// Fault-injection harnesses use this to keep a handle on the machine
+    /// even when `open()` itself unwinds mid-recovery: the caller's clone
+    /// still reaches the (mutated) media afterwards.
+    pub fn with_sim(mut self, sim: ScmSim) -> Self {
+        self.sim = Some(sim);
+        self
+    }
+
+    /// Attaches a crash-point schedule to the machine *before* any layer
+    /// boots, so the durability primitives issued during recovery itself
+    /// are counted — and can be crash targets. See [`FaultPlan`].
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Boots the full stack: SCM machine → region manager →
     /// libmnemosyne regions → persistent heap → transaction runtime
     /// (running every layer's recovery on the way up).
@@ -222,17 +247,21 @@ impl MnemosyneBuilder {
     pub fn open(self) -> Result<Mnemosyne, Error> {
         std::fs::create_dir_all(&self.dir)?;
         let media_path = self.dir.join("scm.img");
-        let sim = match &self.image {
-            Some(img) => ScmSim::from_image(img, self.scm_config.clone()),
-            None if media_path.exists() => {
+        let sim = match (self.sim, &self.image) {
+            (Some(sim), _) => sim,
+            (None, Some(img)) => ScmSim::from_image(img, self.scm_config.clone()),
+            (None, None) if media_path.exists() => {
                 // Resuming an existing machine: the device size is fixed
                 // by the saved media, whatever the builder asked for.
                 let mut config = self.scm_config.clone();
                 config.size = std::fs::metadata(&media_path)?.len();
                 ScmSim::load(&media_path, config)?
             }
-            None => ScmSim::new(self.scm_config.clone()),
+            (None, None) => ScmSim::new(self.scm_config.clone()),
         };
+        if let Some(plan) = self.fault_plan {
+            sim.set_fault_plan(plan);
+        }
         let mgr = RegionManager::boot(&sim, &self.dir)?;
         let (regions, _pmem) = Regions::open(&mgr, self.static_len)?;
         let regions = Arc::new(regions);

@@ -125,9 +125,9 @@ impl Mnemosyne {
         });
         match off {
             Ok(off) => Ok(var_base.add(off)),
-            Err(crate::TxError::Cancelled) => {
-                Err(Error::PStatic(format!("static area exhausted binding '{name}'")))
-            }
+            Err(crate::TxError::Cancelled) => Err(Error::PStatic(format!(
+                "static area exhausted binding '{name}'"
+            ))),
             Err(e) => Err(e.into()),
         }
     }

@@ -18,6 +18,10 @@ pub enum TxAbort {
     Cancelled,
     /// A heap operation inside the transaction failed; no retry.
     Heap(String),
+    /// The thread's redo log failed permanently (oversized transaction or
+    /// a poisoned/corrupt log); no retry — the same append would fail
+    /// again.
+    Log(LogError),
 }
 
 impl fmt::Display for TxAbort {
@@ -26,6 +30,7 @@ impl fmt::Display for TxAbort {
             TxAbort::Conflict => write!(f, "transaction conflict"),
             TxAbort::Cancelled => write!(f, "transaction cancelled"),
             TxAbort::Heap(e) => write!(f, "heap failure in transaction: {e}"),
+            TxAbort::Log(e) => write!(f, "redo log failure in transaction: {e}"),
         }
     }
 }
@@ -95,6 +100,9 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(TxAbort::Conflict.to_string(), "transaction conflict");
-        assert_eq!(TxError::NoThreadSlots.to_string(), "no free transaction-thread slots");
+        assert_eq!(
+            TxError::NoThreadSlots.to_string(),
+            "no free transaction-thread slots"
+        );
     }
 }

@@ -136,8 +136,15 @@ impl MtmRuntime {
             let log = if TornbitLog::exists(&log_pmem, r.addr) {
                 let (log, records) = TornbitLog::recover(log_pmem, r.addr)?;
                 for rec in records {
+                    // Redo records are [ts, (addr,val)*]. Every record is
+                    // checksum-verified by recovery, so a structurally
+                    // malformed one means corruption slipped past the
+                    // media-level checks — refuse to replay it.
                     if rec.is_empty() || rec.len() % 2 == 0 {
-                        continue; // malformed; redo records are [ts, (addr,val)*]
+                        return Err(TxError::Log(LogError::Corrupt {
+                            position: 0,
+                            detail: "malformed redo record in recovered log",
+                        }));
                     }
                     let ts = rec[0];
                     let writes = rec[1..]
@@ -158,6 +165,16 @@ impl MtmRuntime {
         let replayed = pending.len() as u64;
         for (_, writes) in &pending {
             for &(addr, val) in writes {
+                // A redo address outside every mapped region would be a
+                // segfault-analogue panic; surface it as typed corruption
+                // instead (the record's checksum passed, so this means the
+                // region table itself regressed — either way, don't crash).
+                if pmem.try_translate(addr).is_err() {
+                    return Err(TxError::Log(LogError::Corrupt {
+                        position: 0,
+                        detail: "redo record targets an unmapped address",
+                    }));
+                }
                 pmem.store_u64(addr, val);
             }
             for &(addr, _) in writes {
@@ -304,12 +321,17 @@ fn log_manager(truncators: Vec<LogTruncator>, stop: Arc<AtomicBool>, hard: Arc<A
     while !stop.load(Ordering::Relaxed) {
         let mut drained = 0usize;
         for t in &truncators {
-            drained += t.drain(|rec| {
-                // rec = [ts, (addr, val)*]; flush each written line.
-                for pair in rec[1..].chunks_exact(2) {
-                    t.pmem().flush(VAddr(pair[0]));
-                }
-            });
+            if t.poisoned() {
+                continue; // corrupt log: producer gets the typed error
+            }
+            drained += t
+                .drain(|rec| {
+                    // rec = [ts, (addr, val)*]; flush each written line.
+                    for pair in rec[1..].chunks_exact(2) {
+                        t.pmem().flush(VAddr(pair[0]));
+                    }
+                })
+                .unwrap_or(0);
         }
         if drained == 0 {
             std::thread::sleep(std::time::Duration::from_micros(20));
@@ -320,7 +342,10 @@ fn log_manager(truncators: Vec<LogTruncator>, stop: Arc<AtomicBool>, hard: Arc<A
     }
     // Graceful shutdown: final sweep so nothing is stranded.
     for t in &truncators {
-        t.drain(|rec| {
+        if t.poisoned() {
+            continue;
+        }
+        let _ = t.drain(|rec| {
             for pair in rec[1..].chunks_exact(2) {
                 t.pmem().flush(VAddr(pair[0]));
             }
@@ -338,7 +363,9 @@ pub struct TxThread {
 
 impl std::fmt::Debug for TxThread {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TxThread").field("slot", &self.slot).finish()
+        f.debug_struct("TxThread")
+            .field("slot", &self.slot)
+            .finish()
     }
 }
 
@@ -389,6 +416,7 @@ impl TxThread {
                     Err(TxAbort::Conflict) => {}
                     Err(TxAbort::Cancelled) => return Err(TxError::Cancelled),
                     Err(TxAbort::Heap(e)) => return Err(TxError::Heap(e)),
+                    Err(TxAbort::Log(e)) => return Err(TxError::Log(e)),
                 },
                 Err(TxAbort::Conflict) => tx.abort(),
                 Err(TxAbort::Cancelled) => {
@@ -398,6 +426,10 @@ impl TxThread {
                 Err(TxAbort::Heap(e)) => {
                     tx.abort();
                     return Err(TxError::Heap(e));
+                }
+                Err(TxAbort::Log(e)) => {
+                    tx.abort();
+                    return Err(TxError::Log(e));
                 }
             }
             // Conflict: randomised exponential backoff.
@@ -456,9 +488,24 @@ impl Tx<'_> {
                     Truncation::Sync => self.th.log_mut().truncate_all(),
                     // Asynchronous: wait for the log manager (§5: "program
                     // threads may stall until there is free log space").
-                    Truncation::Async => std::thread::yield_now(),
+                    // This loop issues no durability primitives, so under
+                    // fault injection it must poll explicitly — if the
+                    // log-manager thread died at a crash point, this is
+                    // the only place the stalled thread can die too.
+                    Truncation::Async => {
+                        self.th.pmem().poll_crash();
+                        std::thread::yield_now();
+                    }
                 },
-                Err(e) => panic!("transaction exceeds redo log capacity: {e}"),
+                // RecordTooLarge or a poisoned/corrupt log: retrying the
+                // same append can never succeed. Release everything and
+                // surface the typed error.
+                Err(e) => {
+                    self.release_locks_restoring();
+                    self.rollback_allocs();
+                    self.th.rt().aborts.fetch_add(1, Ordering::Relaxed);
+                    return Err(TxAbort::Log(e));
+                }
             }
         }
         // The single commit fence: the record is durable, but not yet

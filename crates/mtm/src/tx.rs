@@ -79,8 +79,14 @@ impl<'a> Tx<'a> {
     /// # Panics
     /// Panics if `addr` is unaligned or not persistent.
     pub fn read_u64(&mut self, addr: VAddr) -> Result<u64, TxAbort> {
-        assert!(addr.is_persistent(), "transactional read of volatile address {addr}");
-        assert!(addr.is_word_aligned(), "unaligned transactional read at {addr}");
+        assert!(
+            addr.is_persistent(),
+            "transactional read of volatile address {addr}"
+        );
+        assert!(
+            addr.is_word_aligned(),
+            "unaligned transactional read at {addr}"
+        );
         if let Some(&v) = self.write_set.get(&addr.0) {
             return Ok(v);
         }
@@ -120,14 +126,29 @@ impl<'a> Tx<'a> {
     /// # Panics
     /// Panics if `addr` is unaligned or not persistent.
     pub fn write_u64(&mut self, addr: VAddr, value: u64) -> Result<(), TxAbort> {
-        assert!(addr.is_persistent(), "transactional write of volatile address {addr}");
-        assert!(addr.is_word_aligned(), "unaligned transactional write at {addr}");
+        assert!(
+            addr.is_persistent(),
+            "transactional write of volatile address {addr}"
+        );
+        assert!(
+            addr.is_word_aligned(),
+            "unaligned transactional write at {addr}"
+        );
         let idx = self.th.rt().locks().index_of(addr);
         if !self.owned.contains(&idx) {
             loop {
                 match self.th.rt().locks().probe(idx) {
                     LockState::Owned(_) => return Err(TxAbort::Conflict),
                     LockState::Version(v) => {
+                        if v > self.rv {
+                            // Someone committed to this slot after our
+                            // snapshot horizon. Validate-and-extend *before*
+                            // acquiring: a stale read of this very word is
+                            // still visible as a version mismatch now, but
+                            // would be masked once we own the lock.
+                            self.extend()?;
+                            continue;
+                        }
                         if self.th.rt().locks().try_acquire(idx, self.th.slot(), v) {
                             self.lock_set.push((idx, v));
                             self.owned.insert(idx);

@@ -1,7 +1,7 @@
 //! Behavioural tests for durable memory transactions (§5, §6.2).
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use mnemosyne_mtm::{MtmConfig, MtmRuntime, Truncation, TxError};
@@ -35,7 +35,7 @@ fn setup(tag: &str) -> (Env, Arc<Regions>) {
     (Env { sim, dir }, Arc::new(regions))
 }
 
-fn reopen(env: &Env, dir: &PathBuf) -> Arc<Regions> {
+fn reopen(env: &Env, dir: &Path) -> Arc<Regions> {
     reopen_from(env.sim.image(), dir)
 }
 
@@ -43,7 +43,7 @@ fn reopen(env: &Env, dir: &PathBuf) -> Arc<Regions> {
 /// moment the "machine died". Anything the old process does afterwards
 /// (e.g. destructors) cannot affect this image, just as a real crash ends
 /// the process.
-fn reopen_from(img: Vec<u8>, dir: &PathBuf) -> Arc<Regions> {
+fn reopen_from(img: Vec<u8>, dir: &Path) -> Arc<Regions> {
     let sim2 = ScmSim::from_image(&img, ScmConfig::for_testing(64 << 20));
     let mgr2 = RegionManager::boot(&sim2, dir).unwrap();
     let (regions, _pmem) = Regions::open(&mgr2, 1 << 16).unwrap();

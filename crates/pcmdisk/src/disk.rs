@@ -3,9 +3,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
-use mnemosyne_scm::EmulationMode;
+use mnemosyne_scm::{EmulationMode, FaultPlan, FaultSite};
 
 use crate::BLOCK_SIZE;
 
@@ -87,6 +87,9 @@ pub struct PcmDisk {
     config: DiskConfig,
     state: Mutex<DiskState>,
     stats: DiskStats,
+    /// Optional crash-point schedule; each block forced to media reports a
+    /// [`FaultSite::BlockWrite`] primitive.
+    faults: RwLock<Option<FaultPlan>>,
 }
 
 impl std::fmt::Debug for PcmDisk {
@@ -107,6 +110,28 @@ impl PcmDisk {
             }),
             config,
             stats: DiskStats::default(),
+            faults: RwLock::new(None),
+        }
+    }
+
+    /// Attaches a crash-point schedule: each block forced to PCM counts as
+    /// one `BlockWrite` durability primitive, so a sweep can land a crash
+    /// between any two blocks of a sync. Share one [`FaultPlan`] with the
+    /// SCM machine to count both devices under one index space.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.faults.write() = Some(plan);
+    }
+
+    /// Detaches the crash-point schedule.
+    pub fn clear_fault_plan(&self) {
+        *self.faults.write() = None;
+    }
+
+    /// Fault hook: `true` means the block write proceeds.
+    fn block_write_allowed(&self) -> bool {
+        match self.faults.read().as_ref() {
+            None => true,
+            Some(p) => p.on_primitive(FaultSite::BlockWrite),
         }
     }
 
@@ -173,12 +198,17 @@ impl PcmDisk {
         {
             let mut st = self.state.lock();
             for (idx, data) in &dirty {
+                if !self.block_write_allowed() {
+                    // Crashed mid-sync: the remaining blocks never reach
+                    // PCM (they were page-cache data, lost with the crash).
+                    break;
+                }
                 let off = (*idx * BLOCK_SIZE) as usize;
                 st.media[off..off + BLOCK_SIZE as usize].copy_from_slice(data);
             }
         }
-        let per_block =
-            self.config.write_latency_ns + (BLOCK_SIZE as f64 / self.config.bandwidth_bytes_per_ns) as u64;
+        let per_block = self.config.write_latency_ns
+            + (BLOCK_SIZE as f64 / self.config.bandwidth_bytes_per_ns) as u64;
         self.delay(self.config.sync_syscall_ns + n * per_block);
         self.stats.synced_blocks.fetch_add(n, Ordering::Relaxed);
         n
@@ -202,6 +232,9 @@ impl PcmDisk {
         {
             let mut st = self.state.lock();
             for (idx, data) in &dirty {
+                if !self.block_write_allowed() {
+                    break;
+                }
                 let off = (*idx * BLOCK_SIZE) as usize;
                 st.media[off..off + BLOCK_SIZE as usize].copy_from_slice(data);
             }
@@ -213,8 +246,10 @@ impl PcmDisk {
         n
     }
 
-    /// Drops all unsynced writes — a crash.
+    /// Drops all unsynced writes — a crash. Detaches any fault plan: the
+    /// device now models the rebooted machine.
     pub fn crash(&self) {
+        *self.faults.write() = None;
         self.state.lock().dirty.clear();
     }
 
@@ -284,6 +319,30 @@ mod tests {
         assert_eq!(synced, 10);
         // 10 * (150 + 1024) ns
         assert_eq!(ns, 10 * (150 + 1024));
+    }
+
+    #[test]
+    fn fault_plan_crashes_mid_sync() {
+        let d = PcmDisk::new(DiskConfig::for_testing(16));
+        let plan = FaultPlan::crash_at(2).with_sites(&[FaultSite::BlockWrite]);
+        d.set_fault_plan(plan.clone());
+        let block = vec![9u8; BLOCK_SIZE as usize];
+        for i in 0..6 {
+            d.write_block(i, &block);
+        }
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| d.sync()));
+        assert!(r.is_err(), "sync must crash at the third block write");
+        assert_eq!(plan.fired().map(|f| f.index), Some(2));
+        d.crash();
+        // Exactly two blocks were forced to PCM before the crash.
+        let mut buf = vec![0u8; BLOCK_SIZE as usize];
+        let survivors = (0..6u64)
+            .filter(|&i| {
+                d.read_block(i, &mut buf);
+                buf == block
+            })
+            .count();
+        assert_eq!(survivors, 2);
     }
 
     #[test]

@@ -40,6 +40,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(FsError::NotFound("x".into()).to_string(), "no such file 'x'");
+        assert_eq!(
+            FsError::NotFound("x".into()).to_string(),
+            "no such file 'x'"
+        );
     }
 }

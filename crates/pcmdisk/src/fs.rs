@@ -267,7 +267,7 @@ impl SimpleFs {
                     break;
                 }
             } else {
-                if run_len > 0 && best.map_or(true, |e| e.len < run_len) {
+                if run_len > 0 && best.is_none_or(|e| e.len < run_len) {
                     best = Some(Extent {
                         start: run_start as u32,
                         len: run_len,
@@ -276,7 +276,7 @@ impl SimpleFs {
                 run_len = 0;
             }
         }
-        if run_len > 0 && best.map_or(true, |e| e.len < run_len) {
+        if run_len > 0 && best.is_none_or(|e| e.len < run_len) {
             best = Some(Extent {
                 start: run_start as u32,
                 len: run_len,
@@ -427,7 +427,9 @@ impl SimpleFs {
             let lblock = abs / BLOCK_SIZE;
             let boff = (abs % BLOCK_SIZE) as usize;
             let n = (BLOCK_SIZE as usize - boff).min(data.len() - pos);
-            let pblock = entry.map_block(lblock).ok_or(FsError::Corrupt("unmapped block"))?;
+            let pblock = entry
+                .map_block(lblock)
+                .ok_or(FsError::Corrupt("unmapped block"))?;
             if boff != 0 || n != BLOCK_SIZE as usize {
                 self.disk.read_block(pblock, &mut buf);
             } else {
@@ -587,7 +589,10 @@ mod tests {
     #[test]
     fn errors() {
         let fs = fs();
-        assert!(matches!(fs.pread("nope", 0, &mut [0u8; 4]), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            fs.pread("nope", 0, &mut [0u8; 4]),
+            Err(FsError::NotFound(_))
+        ));
         fs.create("dup").unwrap();
         assert!(matches!(fs.create("dup"), Err(FsError::Exists(_))));
         assert!(matches!(fs.create("bad/name"), Err(FsError::BadName(_))));

@@ -406,7 +406,8 @@ mod tests {
         let t = PAvlTree::open(&m, "tree").unwrap();
         // Sequential keys are the worst case for an unbalanced BST.
         for i in 0..500u32 {
-            t.insert(&mut th, format!("key{i:06}").as_bytes(), b"v").unwrap();
+            t.insert(&mut th, format!("key{i:06}").as_bytes(), b"v")
+                .unwrap();
         }
         assert_eq!(t.check_invariants(&mut th).unwrap(), 500);
         std::fs::remove_dir_all(&d).ok();
@@ -420,7 +421,7 @@ mod tests {
             let mut th = m.register_thread().unwrap();
             let t = PAvlTree::open(&m, "tree").unwrap();
             for i in 0..200u32 {
-                t.insert(&mut th, format!("dn={i}").as_bytes(), &vec![i as u8; 32])
+                t.insert(&mut th, format!("dn={i}").as_bytes(), &[i as u8; 32])
                     .unwrap();
             }
         }
@@ -430,7 +431,9 @@ mod tests {
         assert_eq!(t.check_invariants(&mut th).unwrap(), 200);
         for i in 0..200u32 {
             assert_eq!(
-                t.get(&mut th, format!("dn={i}").as_bytes()).unwrap().unwrap(),
+                t.get(&mut th, format!("dn={i}").as_bytes())
+                    .unwrap()
+                    .unwrap(),
                 vec![i as u8; 32]
             );
         }

@@ -84,11 +84,22 @@ fn shift_right(
 
 /// Result of a recursive insert: the subtree may have split.
 enum InsertResult {
-    Done { replaced: bool },
-    Split { sep: u64, right: VAddr, replaced: bool },
+    Done {
+        replaced: bool,
+    },
+    Split {
+        sep: u64,
+        right: VAddr,
+        replaced: bool,
+    },
 }
 
-fn insert_rec(tx: &mut Tx<'_>, node: VAddr, key: u64, value: &[u8]) -> Result<InsertResult, TxAbort> {
+fn insert_rec(
+    tx: &mut Tx<'_>,
+    node: VAddr,
+    key: u64,
+    value: &[u8],
+) -> Result<InsertResult, TxAbort> {
     let is_leaf = tx.read_u64(node.add(OFF_TAG))? == 1;
     let n = tx.read_u64(node.add(OFF_NKEYS))? as usize;
     let keys = read_keys(tx, node, n)?;
@@ -125,7 +136,11 @@ fn insert_rec(tx: &mut Tx<'_>, node: VAddr, key: u64, value: &[u8]) -> Result<In
         tx.write_u64(node.add(OFF_NEXT), right.0)?;
         tx.write_u64(node.add(OFF_NKEYS), mid as u64)?;
         // Insert into the proper half.
-        let target = if key < tx.read_u64(right.add(OFF_KEYS))? { node } else { right };
+        let target = if key < tx.read_u64(right.add(OFF_KEYS))? {
+            node
+        } else {
+            right
+        };
         match insert_rec(tx, target, key, value)? {
             InsertResult::Done { replaced } => Ok(InsertResult::Split {
                 sep: tx.read_u64(right.add(OFF_KEYS))?,
@@ -139,7 +154,11 @@ fn insert_rec(tx: &mut Tx<'_>, node: VAddr, key: u64, value: &[u8]) -> Result<In
         let child = VAddr(tx.read_u64(node.add(OFF_CHILDREN + pos as u64 * 8))?);
         match insert_rec(tx, child, key, value)? {
             InsertResult::Done { replaced } => Ok(InsertResult::Done { replaced }),
-            InsertResult::Split { sep, right, replaced } => {
+            InsertResult::Split {
+                sep,
+                right,
+                replaced,
+            } => {
                 if n < ORDER {
                     // Make room for sep at pos; children shift from pos+1.
                     for i in (pos..n).rev() {
@@ -172,7 +191,11 @@ fn insert_rec(tx: &mut Tx<'_>, node: VAddr, key: u64, value: &[u8]) -> Result<In
                 tx.write_u64(rnode.add(OFF_NKEYS), rn as u64)?;
                 tx.write_u64(node.add(OFF_NKEYS), mid as u64)?;
                 // Now place (sep, right) into the proper half.
-                let (target, tpos_base) = if sep < up { (node, pos) } else { (rnode, pos - mid - 1) };
+                let (target, tpos_base) = if sep < up {
+                    (node, pos)
+                } else {
+                    (rnode, pos - mid - 1)
+                };
                 let tn = tx.read_u64(target.add(OFF_NKEYS))? as usize;
                 let tpos = tpos_base.min(tn);
                 for i in (tpos..tn).rev() {
@@ -201,7 +224,11 @@ impl PBPlusTree {
     ///
     /// # Errors
     /// Propagates pstatic/transaction failures.
-    pub fn open(m: &Mnemosyne, th: &mut TxThread, name: &str) -> Result<PBPlusTree, mnemosyne::Error> {
+    pub fn open(
+        m: &Mnemosyne,
+        th: &mut TxThread,
+        name: &str,
+    ) -> Result<PBPlusTree, mnemosyne::Error> {
         let root_cell = m.pstatic(name, 8)?;
         th.atomic(|tx| {
             if tx.read_u64(root_cell)? == 0 {
@@ -224,7 +251,11 @@ impl PBPlusTree {
             let root = VAddr(tx.read_u64(root_cell)?);
             match insert_rec(tx, root, key, value)? {
                 InsertResult::Done { replaced } => Ok(replaced),
-                InsertResult::Split { sep, right, replaced } => {
+                InsertResult::Split {
+                    sep,
+                    right,
+                    replaced,
+                } => {
                     let new_root = tx.pmalloc(INTERNAL_BYTES)?;
                     tx.write_u64(new_root.add(OFF_TAG), 0)?;
                     tx.write_u64(new_root.add(OFF_NKEYS), 1)?;
@@ -401,7 +432,9 @@ mod tests {
         let mut x = 99u64;
         let mut expect = std::collections::BTreeSet::new();
         for _ in 0..300 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = x % 10_000;
             t.insert(&mut th, k, b"v").unwrap();
             expect.insert(k);
@@ -432,7 +465,7 @@ mod tests {
             let mut th = m.register_thread().unwrap();
             let t = PBPlusTree::open(&m, &mut th, "bpt").unwrap();
             for i in 0..300u64 {
-                t.insert(&mut th, i, &vec![(i % 251) as u8; 64]).unwrap();
+                t.insert(&mut th, i, &[(i % 251) as u8; 64]).unwrap();
             }
         }
         let m2 = m.crash_reboot(CrashPolicy::random(23)).unwrap();

@@ -65,7 +65,11 @@ impl PHashTable {
         Ok(PHashTable { root_cell })
     }
 
-    fn bucket_addr(tx: &mut mnemosyne::Tx<'_>, root_cell: VAddr, key: &[u8]) -> Result<VAddr, TxAbort> {
+    fn bucket_addr(
+        tx: &mut mnemosyne::Tx<'_>,
+        root_cell: VAddr,
+        key: &[u8],
+    ) -> Result<VAddr, TxAbort> {
         let table = VAddr(tx.read_u64(root_cell)?);
         let buckets = tx.read_u64(table.add(HDR_BUCKETS))?;
         let b = hash_key(key) % buckets;
@@ -234,7 +238,7 @@ mod tests {
             let mut th = m.register_thread().unwrap();
             let h = PHashTable::open(&m, &mut th, "tbl", 64).unwrap();
             for i in 0..100u64 {
-                h.put(&mut th, &i.to_le_bytes(), &vec![i as u8; 64]).unwrap();
+                h.put(&mut th, &i.to_le_bytes(), &[i as u8; 64]).unwrap();
             }
         }
         let m2 = m.crash_reboot(CrashPolicy::random(11)).unwrap();

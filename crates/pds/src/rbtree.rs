@@ -55,12 +55,7 @@ fn set_color(tx: &mut Tx<'_>, n: VAddr, c: u64) -> Result<(), TxAbort> {
 }
 
 /// Replaces `old`'s position under its parent with `new` (possibly null).
-fn replace_child(
-    tx: &mut Tx<'_>,
-    root_cell: VAddr,
-    old: VAddr,
-    new: VAddr,
-) -> Result<(), TxAbort> {
+fn replace_child(tx: &mut Tx<'_>, root_cell: VAddr, old: VAddr, new: VAddr) -> Result<(), TxAbort> {
     let p = parent(tx, old)?;
     if p.is_null() {
         tx.write_u64(root_cell, new.0)?;
@@ -187,7 +182,11 @@ impl PRbTree {
                 }
                 p = cur;
                 went_left = key < k;
-                cur = if went_left { left(tx, cur)? } else { right(tx, cur)? };
+                cur = if went_left {
+                    left(tx, cur)?
+                } else {
+                    right(tx, cur)?
+                };
             }
             let z = tx.pmalloc(NODE_BYTES)?;
             tx.write_u64(z.add(OFF_LEFT), 0)?;
@@ -223,7 +222,11 @@ impl PRbTree {
                     tx.read_bytes(cur.add(OFF_PAYLOAD), &mut v)?;
                     return Ok(Some(v));
                 }
-                cur = if key < k { left(tx, cur)? } else { right(tx, cur)? };
+                cur = if key < k {
+                    left(tx, cur)?
+                } else {
+                    right(tx, cur)?
+                };
             }
             Ok(None)
         })
@@ -328,7 +331,9 @@ mod tests {
         let mut x = 7u64;
         let mut n = 0;
         for _ in 0..400 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if t.insert(&mut th, x % 1000, b"p").unwrap() {
                 n += 1;
             }

@@ -30,7 +30,10 @@ impl fmt::Display for HeapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HeapError::OutOfMemory { requested } => {
-                write!(f, "out of persistent heap memory (requested {requested} bytes)")
+                write!(
+                    f,
+                    "out of persistent heap memory (requested {requested} bytes)"
+                )
             }
             HeapError::BadPointer(a) => write!(f, "not a live heap block: {a}"),
             HeapError::VolatileCell(a) => {

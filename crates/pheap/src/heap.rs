@@ -139,12 +139,24 @@ impl PHeap {
             log
         } else {
             let (log, records) = TornbitLog::recover(pmem, log_r.addr)?;
-            // Replay committed-but-unapplied operations (redo).
+            // Replay committed-but-unapplied operations (redo). Records
+            // are checksum-verified by recovery, so a structurally bad one
+            // (odd length, unmapped target) means corruption got past the
+            // media-level checks — refuse to replay rather than panic or
+            // scribble on the wrong words.
             for rec in &records {
-                let pairs: Vec<WordWrite> = rec
-                    .chunks_exact(2)
-                    .map(|c| (VAddr(c[0]), c[1]))
-                    .collect();
+                if rec.len() % 2 != 0 {
+                    return Err(HeapError::Corrupt("malformed allocator redo record"));
+                }
+                let pairs: Vec<WordWrite> =
+                    rec.chunks_exact(2).map(|c| (VAddr(c[0]), c[1])).collect();
+                for &(addr, _) in &pairs {
+                    if log.pmem().try_translate(addr).is_err() {
+                        return Err(HeapError::Corrupt(
+                            "allocator redo record targets an unmapped address",
+                        ));
+                    }
+                }
                 Self::apply(log.pmem(), &pairs);
                 stats.replayed += 1;
             }

@@ -113,12 +113,7 @@ impl LargeAlloc {
 
     /// Allocates `size` user bytes (first fit, splitting when worthwhile).
     /// Returns the user address and the durable writes.
-    pub fn alloc(
-        &mut self,
-        size: u64,
-        pmem: &PMem,
-        writes: &mut Vec<WordWrite>,
-    ) -> Option<VAddr> {
+    pub fn alloc(&mut self, size: u64, pmem: &PMem, writes: &mut Vec<WordWrite>) -> Option<VAddr> {
         let need = (size.max(8).div_ceil(8) * 8) + CHUNK_HEADER;
         let pos = self.free.iter().position(|&(_, sz)| sz >= need)?;
         let (addr, total) = self.free.swap_remove(pos);

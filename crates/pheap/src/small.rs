@@ -110,7 +110,10 @@ impl SmallAlloc {
     /// Whether `addr` lies in the superblock data area.
     pub fn contains(&self, addr: VAddr) -> bool {
         addr >= self.sbs_base
-            && addr < self.sbs_base.add(self.n_superblocks as u64 * SUPERBLOCK_BYTES)
+            && addr
+                < self
+                    .sbs_base
+                    .add(self.n_superblocks as u64 * SUPERBLOCK_BYTES)
     }
 
     /// Rebuilds the volatile indexes from the persistent metadata — the
@@ -143,7 +146,18 @@ impl SmallAlloc {
             let mut bm = [0u64; BITMAP_WORDS];
             let mut used = 0;
             for (w, slot) in bm.iter_mut().enumerate() {
-                *slot = pmem.read_u64(self.bitmap_word_addr(sb, w));
+                // Mask out bits beyond the superblock's block count: a
+                // corrupted bitmap word must not make `used` exceed
+                // `blocks` (underflow below) or make alloc hand out
+                // addresses past the superblock.
+                let lo = (w as u32) * 64;
+                let valid = blocks.saturating_sub(lo).min(64);
+                let mask = if valid >= 64 {
+                    !0u64
+                } else {
+                    (1u64 << valid) - 1
+                };
+                *slot = pmem.read_u64(self.bitmap_word_addr(sb, w)) & mask;
                 used += slot.count_ones();
             }
             self.sb_class[sb as usize] = class as u8 + 1;
@@ -225,7 +239,7 @@ impl SmallAlloc {
         };
         let bs = class_size(class);
         let off = addr.offset_from(self.sb_addr(sb));
-        if off % bs != 0 {
+        if !off.is_multiple_of(bs) {
             return Err(HeapError::BadPointer(addr));
         }
         let idx = (off / bs) as u32;
@@ -236,7 +250,10 @@ impl SmallAlloc {
         }
         self.bitmaps[sb as usize][widx] &= !bit;
         self.free_count[sb as usize] += 1;
-        writes.push((self.bitmap_word_addr(sb, widx), self.bitmaps[sb as usize][widx]));
+        writes.push((
+            self.bitmap_word_addr(sb, widx),
+            self.bitmaps[sb as usize][widx],
+        ));
         let blocks = (SUPERBLOCK_BYTES / bs) as u32;
         if self.free_count[sb as usize] == blocks {
             // Fully empty: return to the unassigned pool for any class.
@@ -263,7 +280,7 @@ impl SmallAlloc {
             c => {
                 let bs = class_size((c - 1) as usize);
                 let off = addr.offset_from(self.sb_addr(sb));
-                if off % bs != 0 {
+                if !off.is_multiple_of(bs) {
                     return None;
                 }
                 let idx = (off / bs) as u32;

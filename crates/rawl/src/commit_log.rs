@@ -15,6 +15,7 @@ use mnemosyne_region::{PMem, VAddr};
 
 use crate::error::LogError;
 use crate::shared::{LogShared, COMMIT_MAGIC};
+use crate::tornbit::record_checksum;
 
 /// Tag mixed with the stream position to form a commit word; including the
 /// position keeps a stale commit word from a previous pass from validating
@@ -27,7 +28,11 @@ fn commit_word(pos: u64) -> u64 {
 }
 
 /// A commit-record log. Records are stored unpacked (full 64-bit payload
-/// words), followed by one commit word; each append costs two fences.
+/// words), followed by a checksum word and one commit word; each append
+/// costs two fences. The commit word proves the append completed; the
+/// checksum proves the payload was not damaged afterwards (a committed
+/// record failing its checksum is media corruption, reported as a typed
+/// error rather than replayed).
 pub struct CommitRecordLog {
     shared: Arc<LogShared>,
     pmem: PMem,
@@ -52,7 +57,11 @@ impl CommitRecordLog {
     ///
     /// # Panics
     /// Panics if the region at `base` is unmapped or too small.
-    pub fn create(pmem: PMem, base: VAddr, capacity_words: u64) -> Result<CommitRecordLog, LogError> {
+    pub fn create(
+        pmem: PMem,
+        base: VAddr,
+        capacity_words: u64,
+    ) -> Result<CommitRecordLog, LogError> {
         LogShared::validate_capacity(capacity_words)?;
         for i in 0..capacity_words {
             pmem.wtstore_u64(base.add(crate::shared::LOG_HEADER_BYTES + i * 8), 0);
@@ -68,31 +77,42 @@ impl CommitRecordLog {
 
     /// Recovers the log after a failure: walks records from the head,
     /// accepting each only if its commit word is present and matches its
-    /// position. Returns the log and the recovered records.
+    /// position, then verifying its payload checksum. Returns the log and
+    /// the recovered records.
     ///
     /// # Errors
-    /// Fails if the header is corrupt.
+    /// [`LogError::BadHeader`] / [`LogError::Corrupt`] if the header is
+    /// damaged, and [`LogError::Corrupt`] if a *committed* record fails
+    /// its checksum — the commit word proves the append finished, so an
+    /// inconsistent payload can only be media corruption.
     pub fn recover(pmem: PMem, base: VAddr) -> Result<(CommitRecordLog, Vec<Vec<u64>>), LogError> {
         let (capacity, head) = LogShared::read_header(&pmem, base, COMMIT_MAGIC)?;
         let shared = LogShared::new(base, capacity, head);
         let mut records = Vec::new();
         let mut p = head;
         loop {
-            if head + capacity - p < 2 {
+            if head + capacity - p < 3 {
                 break;
             }
             let len = pmem.read_u64(shared.word_addr(p));
-            let total = match len.checked_add(2) {
+            let total = match len.checked_add(3) {
                 Some(t) if t <= capacity && p + t <= head + capacity => t,
                 _ => break,
             };
-            let commit_pos = p + 1 + len;
+            let cksum_pos = p + 1 + len;
+            let commit_pos = cksum_pos + 1;
             if pmem.read_u64(shared.word_addr(commit_pos)) != commit_word(commit_pos) {
                 break;
             }
             let mut payload = Vec::with_capacity(len as usize);
             for i in 0..len {
                 payload.push(pmem.read_u64(shared.word_addr(p + 1 + i)));
+            }
+            if pmem.read_u64(shared.word_addr(cksum_pos)) != record_checksum(&payload) {
+                return Err(LogError::Corrupt {
+                    position: p,
+                    detail: "committed record failed its checksum",
+                });
             }
             records.push(payload);
             p += total;
@@ -112,14 +132,14 @@ impl CommitRecordLog {
         ))
     }
 
-    /// Appends a record atomically: payload words, fence, commit word,
-    /// fence (the two-fence baseline protocol).
+    /// Appends a record atomically: payload words + checksum, fence,
+    /// commit word, fence (the two-fence baseline protocol).
     ///
     /// # Errors
     /// [`LogError::Full`] / [`LogError::RecordTooLarge`] as for the
     /// tornbit log.
     pub fn append(&mut self, payload: &[u64]) -> Result<(), LogError> {
-        let m = payload.len() as u64 + 2;
+        let m = payload.len() as u64 + 3;
         if m > self.shared.capacity {
             return Err(LogError::RecordTooLarge {
                 needed: m,
@@ -137,8 +157,11 @@ impl CommitRecordLog {
             self.pmem
                 .wtstore_u64(self.shared.word_addr(p + 1 + i as u64), w);
         }
+        let cksum_pos = p + 1 + payload.len() as u64;
+        self.pmem
+            .wtstore_u64(self.shared.word_addr(cksum_pos), record_checksum(payload));
         self.pmem.fence(); // fence #1: data stable
-        let commit_pos = p + 1 + payload.len() as u64;
+        let commit_pos = cksum_pos + 1;
         self.pmem
             .wtstore_u64(self.shared.word_addr(commit_pos), commit_word(commit_pos));
         self.pmem.fence(); // fence #2: commit record stable
@@ -208,7 +231,11 @@ mod tests {
         let mgr = RegionManager::boot(&sim, &dir).unwrap();
         let (regions, pmem) = Regions::open(&mgr, 1 << 16).unwrap();
         let r = regions
-            .pmap("clog", crate::shared::LOG_HEADER_BYTES + capacity_words * 8, &pmem)
+            .pmap(
+                "clog",
+                crate::shared::LOG_HEADER_BYTES + capacity_words * 8,
+                &pmem,
+            )
             .unwrap();
         let log = CommitRecordLog::create(pmem, r.addr, capacity_words).unwrap();
         (
@@ -268,7 +295,10 @@ mod tests {
         }
         env.sim.crash(CrashPolicy::DropAll);
         let (_l, records) = recover(&env);
-        assert!(records.is_empty(), "stale pass data must not be replayed: {records:?}");
+        assert!(
+            records.is_empty(),
+            "stale pass data must not be replayed: {records:?}"
+        );
     }
 
     #[test]
@@ -290,6 +320,27 @@ mod tests {
         env.sim.crash(CrashPolicy::DropAll);
         let (_l, records) = recover(&env);
         assert!(records.is_empty());
+    }
+
+    #[test]
+    fn committed_record_bit_flip_is_typed_corruption() {
+        let (env, mut log) = setup(256);
+        log.append(&[9, 8, 7]).unwrap();
+        // Flip one payload bit of the committed record: the commit word is
+        // intact, so only the checksum can catch the damage.
+        let addr = log.shared.word_addr(1);
+        let pmem = env.regions.pmem_handle();
+        let w = pmem.read_u64(addr);
+        pmem.store_u64(addr, w ^ (1 << 40));
+        pmem.flush(addr);
+        pmem.fence();
+        env.sim.crash(CrashPolicy::DropAll);
+        match CommitRecordLog::recover(env.regions.pmem_handle(), env.log_base) {
+            Err(LogError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("checksum"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

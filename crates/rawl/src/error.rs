@@ -24,6 +24,18 @@ pub enum LogError {
         /// Total capacity in words.
         capacity: u64,
     },
+    /// Media corruption detected: the log structure was valid at some point
+    /// but its current contents are provably inconsistent (checksum
+    /// mismatch, implausible length, out-of-range header fields). The log
+    /// must not be trusted; recovery should degrade gracefully rather than
+    /// replay garbage.
+    Corrupt {
+        /// Stream position (or header field offset) where corruption was
+        /// detected.
+        position: u64,
+        /// What was inconsistent.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for LogError {
@@ -35,7 +47,13 @@ impl fmt::Display for LogError {
             LogError::BadHeader => write!(f, "corrupt log header"),
             LogError::BadCapacity(c) => write!(f, "unsupported log capacity {c}"),
             LogError::RecordTooLarge { needed, capacity } => {
-                write!(f, "record of {needed} words exceeds log capacity {capacity}")
+                write!(
+                    f,
+                    "record of {needed} words exceeds log capacity {capacity}"
+                )
+            }
+            LogError::Corrupt { position, detail } => {
+                write!(f, "log corruption at stream position {position}: {detail}")
             }
         }
     }
@@ -49,7 +67,10 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = LogError::Full { needed: 10, free: 3 };
+        let e = LogError::Full {
+            needed: 10,
+            free: 3,
+        };
         assert_eq!(e.to_string(), "log full: need 10 words, 3 free");
     }
 }

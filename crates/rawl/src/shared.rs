@@ -8,11 +8,22 @@
 //! `position / capacity` the pass number (which drives the torn-bit
 //! sense).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use mnemosyne_region::{PMem, VAddr};
 
 use crate::error::LogError;
+
+/// Largest stream position [`LogShared::read_header`] accepts as a head.
+/// Positions are monotonic word counts, so 2^48 words (2 PiB of log
+/// traffic) is far beyond anything a real run produces — a head above it
+/// can only come from a corrupted header word.
+pub const MAX_STREAM_POS: u64 = 1 << 48;
+
+/// Largest capacity [`LogShared::read_header`] accepts (2^40 words = 8 TiB
+/// buffer); anything above is a corrupted header word, and rejecting it
+/// keeps the recovery scan's `head + capacity` arithmetic overflow-free.
+pub const MAX_CAPACITY_WORDS: u64 = 1 << 40;
 
 /// Bytes of the persistent log header preceding the buffer:
 /// `[magic, capacity_words, head_position, kind]` padded to a cache line.
@@ -40,6 +51,11 @@ pub struct LogShared {
     /// Stream position up to which appends are durable (advanced by
     /// `log_flush`). The consumer must not read past this.
     pub fenced: AtomicU64,
+    /// Set when the consumer detects media corruption in the durable
+    /// region. A poisoned log stops accepting appends (the producer gets
+    /// [`LogError::Corrupt`] instead of spinning on [`LogError::Full`]
+    /// waiting for a truncation that will never come).
+    pub poisoned: AtomicBool,
 }
 
 impl LogShared {
@@ -51,6 +67,7 @@ impl LogShared {
             head: AtomicU64::new(pos),
             tail: AtomicU64::new(pos),
             fenced: AtomicU64::new(pos),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -83,15 +100,41 @@ impl LogShared {
     /// Reads and validates a header, returning `(capacity, head_position)`.
     ///
     /// # Errors
-    /// Fails if the magic does not match.
+    /// [`LogError::BadHeader`] if the region is unmapped or the magic does
+    /// not match; [`LogError::Corrupt`] if the magic is intact but the
+    /// capacity or head word is implausible (a corrupted header must not
+    /// send the recovery scan out of the mapped region or into overflowing
+    /// arithmetic).
     pub fn read_header(pmem: &PMem, base: VAddr, magic: u64) -> Result<(u64, u64), LogError> {
+        if pmem.try_translate(base).is_err() {
+            return Err(LogError::BadHeader);
+        }
         if pmem.read_u64(base) != magic {
             return Err(LogError::BadHeader);
         }
         let capacity = pmem.read_u64(base.add(8));
         let head = pmem.read_u64(base.add(16));
-        if capacity == 0 || capacity % 2 != 0 {
-            return Err(LogError::BadHeader);
+        if capacity == 0 || !capacity.is_multiple_of(2) || capacity > MAX_CAPACITY_WORDS {
+            return Err(LogError::Corrupt {
+                position: 0,
+                detail: "implausible log capacity in header",
+            });
+        }
+        // The whole buffer must lie inside the mapped region; a corrupted
+        // capacity word would otherwise turn the recovery scan into a
+        // persistent-memory fault (panic) instead of a typed error.
+        let last = base.add(LOG_HEADER_BYTES + (capacity - 1) * 8);
+        if pmem.try_translate(last).is_err() {
+            return Err(LogError::Corrupt {
+                position: 0,
+                detail: "log capacity exceeds the mapped region",
+            });
+        }
+        if head > MAX_STREAM_POS {
+            return Err(LogError::Corrupt {
+                position: head,
+                detail: "implausible log head position in header",
+            });
         }
         Ok((capacity, head))
     }
@@ -109,7 +152,7 @@ impl LogShared {
     /// Validates a requested capacity (words): at least 16, even (so the
     /// pass parity flips predictably), and sane.
     pub fn validate_capacity(capacity: u64) -> Result<(), LogError> {
-        if capacity < 16 || capacity % 2 != 0 {
+        if capacity < 16 || !capacity.is_multiple_of(2) {
             return Err(LogError::BadCapacity(capacity));
         }
         Ok(())

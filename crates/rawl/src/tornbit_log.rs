@@ -14,7 +14,9 @@ use mnemosyne_region::{PMem, VAddr};
 
 use crate::error::LogError;
 use crate::shared::{LogShared, LOG_HEADER_BYTES, TORNBIT_MAGIC};
-use crate::tornbit::{packed_len, torn_bit_for_pass, BitPacker, BitUnpacker, PAYLOAD_MASK};
+use crate::tornbit::{
+    packed_len, record_checksum, torn_bit_for_pass, BitPacker, BitUnpacker, PAYLOAD_MASK,
+};
 
 /// Producer handle to a tornbit RAWL. Single producer: `&mut self` on
 /// mutating operations enforces it.
@@ -33,17 +35,29 @@ impl std::fmt::Debug for TornbitLog {
     }
 }
 
+/// Outcome of decoding one record from the torn-bit-consistent region.
+///
+/// The distinction between the two failure arms is the heart of the
+/// corruption model: within the torn-consistent prefix every word is a
+/// retired current-pass word, so a record that *ends beyond* the prefix is
+/// a benign partial append (the crash interrupted it), while a record that
+/// is fully present but internally inconsistent can only be media
+/// corruption — a torn append never produces one.
+enum Decoded {
+    /// A complete, checksum-verified record and the next stream position.
+    Record(Vec<u64>, u64),
+    /// A benign torn tail: the record extends past the valid region (or
+    /// the region is too short for even a header). Recovery discards it.
+    Incomplete,
+    /// Provable media corruption at `position`.
+    Corrupt { position: u64, detail: &'static str },
+}
+
 /// Decodes the record starting at stream position `p` (which must be below
-/// `end`), returning `(payload, next_position)`. Returns `None` for an
-/// incomplete or implausible record.
-fn decode_record(
-    read_word: &impl Fn(u64) -> u64,
-    p: u64,
-    end: u64,
-    capacity: u64,
-) -> Option<(Vec<u64>, u64)> {
+/// `end`). Records are packed as `[len, payload..., checksum]`.
+fn decode_record(read_word: &impl Fn(u64) -> u64, p: u64, end: u64, capacity: u64) -> Decoded {
     if end - p < 2 {
-        return None; // even a zero-length record needs two chunks
+        return Decoded::Incomplete; // even a zero-length record needs two chunks
     }
     // First two chunks yield the 64-bit length header.
     let mut header = None;
@@ -55,29 +69,62 @@ fn decode_record(
             }
         });
     }
-    let len = header?;
-    let m = packed_len(1 + len);
-    if m > capacity || p + m > end {
-        return None; // incomplete append (or stale garbage)
+    let len = match header {
+        Some(l) => l,
+        None => return Decoded::Incomplete,
+    };
+    // A length at or above the capacity cannot have been written by
+    // `append` (it bounds-checks first), and a torn append still carries
+    // its true length (words retire whole or not at all) — so an oversized
+    // length inside the torn-consistent region is corruption. Checking
+    // against `capacity` first also keeps `packed_len` overflow-free.
+    if len >= capacity {
+        return Decoded::Corrupt {
+            position: p,
+            detail: "implausible record length",
+        };
     }
-    // Re-decode the full record.
-    let mut words = Vec::with_capacity(1 + len as usize);
+    let m = packed_len(2 + len);
+    if m > capacity {
+        return Decoded::Corrupt {
+            position: p,
+            detail: "record length exceeds log capacity",
+        };
+    }
+    if p + m > end {
+        return Decoded::Incomplete; // benign torn tail
+    }
+    // Decode the full record: length word, payload, checksum word.
+    let want = 2 + len as usize;
+    let mut words = Vec::with_capacity(want);
     let mut un = BitUnpacker::new();
     for i in 0..m {
-        if words.len() > len as usize {
+        if words.len() >= want {
             break;
         }
         un.push(read_word(p + i) & PAYLOAD_MASK, |w| {
-            if words.len() <= len as usize {
+            if words.len() < want {
                 words.push(w)
             }
         });
     }
-    if words.len() != 1 + len as usize {
-        return None;
+    if words.len() != want {
+        return Decoded::Corrupt {
+            position: p,
+            detail: "truncated record encoding",
+        };
     }
-    words.remove(0);
-    Some((words, p + m))
+    let payload = &words[1..1 + len as usize];
+    if words[1 + len as usize] != record_checksum(payload) {
+        return Decoded::Corrupt {
+            position: p,
+            detail: "record checksum mismatch",
+        };
+    }
+    let mut payload = words;
+    payload.pop();
+    payload.remove(0);
+    Decoded::Record(payload, p + m)
 }
 
 impl TornbitLog {
@@ -113,13 +160,17 @@ impl TornbitLog {
 
     /// Recovers a tornbit log after a failure: locates the head, scans
     /// forward while torn bits are in sequence, decodes the complete
-    /// records, discards a trailing partial append, and sanitises the torn
-    /// region so a repeated crash cannot resurrect it. Returns the log
-    /// (positioned after the last complete record) and the recovered
-    /// records in order.
+    /// records (verifying each record's checksum), discards a trailing
+    /// partial append, and sanitises the torn region so a repeated crash
+    /// cannot resurrect it. Returns the log (positioned after the last
+    /// complete record) and the recovered records in order.
     ///
     /// # Errors
-    /// Fails if the header is corrupt.
+    /// [`LogError::BadHeader`] / [`LogError::Corrupt`] if the header is
+    /// damaged, and [`LogError::Corrupt`] if a record inside the durable
+    /// region fails its checksum — a torn append can only truncate the
+    /// tail, so an internally inconsistent record is media corruption and
+    /// must not be replayed.
     pub fn recover(pmem: PMem, base: VAddr) -> Result<(TornbitLog, Vec<Vec<u64>>), LogError> {
         let (capacity, head) = LogShared::read_header(&pmem, base, TORNBIT_MAGIC)?;
         let shared = LogShared::new(base, capacity, head);
@@ -138,9 +189,17 @@ impl TornbitLog {
         // Decode complete records.
         let mut records = Vec::new();
         let mut p = head;
-        while let Some((payload, next)) = decode_record(&read_word, p, valid_end, capacity) {
-            records.push(payload);
-            p = next;
+        loop {
+            match decode_record(&read_word, p, valid_end, capacity) {
+                Decoded::Record(payload, next) => {
+                    records.push(payload);
+                    p = next;
+                }
+                Decoded::Incomplete => break,
+                Decoded::Corrupt { position, detail } => {
+                    return Err(LogError::Corrupt { position, detail });
+                }
+            }
         }
 
         // Sanitise [p, valid_end): overwrite with the *opposite* torn bit
@@ -168,15 +227,23 @@ impl TornbitLog {
     }
 
     /// Appends a record (`log_append`): queues streaming stores for the
-    /// packed words. **Not durable** until [`TornbitLog::flush`]; separate
-    /// appends become durable in order, so after a crash the log is always
-    /// a prefix of what was appended.
+    /// packed words (`[len, payload…, checksum]`). **Not durable** until
+    /// [`TornbitLog::flush`]; separate appends become durable in order, so
+    /// after a crash the log is always a prefix of what was appended.
     ///
     /// # Errors
-    /// [`LogError::Full`] if the truncator has not freed enough space, or
-    /// [`LogError::RecordTooLarge`] if the record can never fit.
+    /// [`LogError::Full`] if the truncator has not freed enough space,
+    /// [`LogError::RecordTooLarge`] if the record can never fit, or
+    /// [`LogError::Corrupt`] if the truncator has poisoned the log after
+    /// detecting media corruption (waiting for space would deadlock).
     pub fn append(&mut self, payload: &[u64]) -> Result<(), LogError> {
-        let m = packed_len(1 + payload.len() as u64);
+        if self.shared.poisoned.load(Ordering::Acquire) {
+            return Err(LogError::Corrupt {
+                position: self.shared.head.load(Ordering::Relaxed),
+                detail: "log poisoned: truncator detected media corruption",
+            });
+        }
+        let m = packed_len(2 + payload.len() as u64);
         if m > self.shared.capacity {
             return Err(LogError::RecordTooLarge {
                 needed: m,
@@ -202,6 +269,7 @@ impl TornbitLog {
             for &w in payload {
                 packer.push(w, &mut emit);
             }
+            packer.push(record_checksum(payload), &mut emit);
             packer.finish(&mut emit);
         }
         debug_assert_eq!(pos, self.shared.tail.load(Ordering::Relaxed) + m);
@@ -275,6 +343,12 @@ impl TornbitLog {
         self.records_appended
     }
 
+    /// Whether the truncator has poisoned this log after detecting media
+    /// corruption (appends now fail with [`LogError::Corrupt`]).
+    pub fn poisoned(&self) -> bool {
+        self.shared.poisoned.load(Ordering::Acquire)
+    }
+
     /// The producer-side persistent-memory handle (for callers that need
     /// to interleave other persistent operations on the same thread).
     pub fn pmem(&self) -> &PMem {
@@ -302,30 +376,54 @@ impl LogTruncator {
     /// Reads every durable (fenced) record, invokes `f` on each, then
     /// durably truncates past them. Returns the number of records
     /// consumed.
-    pub fn drain(&self, mut f: impl FnMut(&[u64])) -> usize {
+    ///
+    /// # Errors
+    /// [`LogError::Corrupt`] if a fenced record fails its checksum. The
+    /// records consumed before the corrupt one are still truncated (they
+    /// were delivered to `f`), the log is poisoned so the producer stops
+    /// appending, and the damaged region is left in place for recovery to
+    /// report.
+    pub fn drain(&self, mut f: impl FnMut(&[u64])) -> Result<usize, LogError> {
         let end = self.shared.fenced.load(Ordering::Acquire);
         let mut p = self.shared.head.load(Ordering::Relaxed);
         let read_word = |pos: u64| self.pmem.read_u64(self.shared.word_addr(pos));
         let mut n = 0;
+        let mut corrupt = None;
         while p < end {
             match decode_record(&read_word, p, end, self.shared.capacity) {
-                Some((payload, next)) => {
+                Decoded::Record(payload, next) => {
                     f(&payload);
                     p = next;
                     n += 1;
                 }
-                None => break,
+                Decoded::Incomplete => break,
+                Decoded::Corrupt { position, detail } => {
+                    corrupt = Some(LogError::Corrupt { position, detail });
+                    break;
+                }
             }
         }
         if n > 0 {
             self.shared.truncate_to(&self.pmem, p);
         }
-        n
+        match corrupt {
+            Some(e) => {
+                self.shared.poisoned.store(true, Ordering::Release);
+                Err(e)
+            }
+            None => Ok(n),
+        }
     }
 
     /// Words awaiting consumption.
     pub fn backlog_words(&self) -> u64 {
         self.shared.fenced.load(Ordering::Acquire) - self.shared.head.load(Ordering::Relaxed)
+    }
+
+    /// Whether this log was poisoned by a corruption detection; a poisoned
+    /// log should no longer be drained.
+    pub fn poisoned(&self) -> bool {
+        self.shared.poisoned.load(Ordering::Acquire)
     }
 
     /// The consumer-side persistent-memory handle.
@@ -429,7 +527,11 @@ mod tests {
         let before = env.sim.stats().fences;
         log.append(&[1, 2, 3, 4]).unwrap();
         log.flush();
-        assert_eq!(env.sim.stats().fences - before, 1, "tornbit needs ONE fence");
+        assert_eq!(
+            env.sim.stats().fences - before,
+            1,
+            "tornbit needs ONE fence"
+        );
     }
 
     #[test]
@@ -530,7 +632,10 @@ mod tests {
         pmem.fence();
         env.sim.crash(CrashPolicy::DropAll);
         let (_log, records) = recover(&env);
-        assert!(records.is_empty(), "a flipped torn bit must invalidate the append");
+        assert!(
+            records.is_empty(),
+            "a flipped torn bit must invalidate the append"
+        );
     }
 
     #[test]
@@ -541,11 +646,11 @@ mod tests {
         log.flush();
         log.append(&[3, 4]).unwrap(); // not fenced yet
         let mut seen = Vec::new();
-        let n = tr.drain(|r| seen.push(r.to_vec()));
+        let n = tr.drain(|r| seen.push(r.to_vec())).unwrap();
         assert_eq!(n, 1);
         assert_eq!(seen, vec![vec![1, 2]]);
         log.flush();
-        let n = tr.drain(|r| seen.push(r.to_vec()));
+        let n = tr.drain(|r| seen.push(r.to_vec())).unwrap();
         assert_eq!(n, 1);
         assert_eq!(seen[1], vec![3, 4]);
         // Space reclaimed for the producer.
@@ -561,7 +666,7 @@ mod tests {
             let mut sum = 0u64;
             let mut seen = 0u64;
             while seen < total {
-                seen += tr.drain(|r| sum += r[0]) as u64;
+                seen += tr.drain(|r| sum += r[0]).unwrap() as u64;
                 std::thread::yield_now();
             }
             sum
@@ -579,6 +684,66 @@ mod tests {
             expect += i;
         }
         assert_eq!(consumer.join().unwrap(), expect);
+    }
+
+    #[test]
+    fn payload_bit_flip_yields_typed_corruption_error() {
+        let (env, mut log) = setup(256);
+        log.append(&[5, 6, 7]).unwrap();
+        log.flush();
+        // Flip a *payload* bit (not the torn bit) of a durable record: the
+        // torn-bit scan still accepts the word, so only the checksum can
+        // catch it.
+        let pmem = env.regions.pmem_handle();
+        let addr = env.log_base.add(LOG_HEADER_BYTES + 2 * 8);
+        let w = pmem.read_u64(addr);
+        pmem.store_u64(addr, w ^ 1);
+        pmem.flush(addr);
+        pmem.fence();
+        env.sim.crash(mnemosyne_scm::CrashPolicy::DropAll);
+        match TornbitLog::recover(env.regions.pmem_handle(), env.log_base) {
+            Err(LogError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("checksum"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_capacity_in_header_is_typed_not_panic() {
+        let (env, mut log) = setup(64);
+        log.append(&[1]).unwrap();
+        log.flush();
+        let pmem = env.regions.pmem_handle();
+        // Overwrite the capacity header word with garbage far beyond the
+        // mapped region.
+        pmem.store_u64(env.log_base.add(8), 1 << 30);
+        pmem.flush(env.log_base.add(8));
+        pmem.fence();
+        env.sim.crash(mnemosyne_scm::CrashPolicy::DropAll);
+        assert!(matches!(
+            TornbitLog::recover(env.regions.pmem_handle(), env.log_base),
+            Err(LogError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn truncator_poisons_log_on_corrupt_record() {
+        let (env, mut log) = setup(256);
+        let tr = log.truncator(env.regions.pmem_handle());
+        log.append(&[11, 22, 33]).unwrap();
+        log.flush();
+        // Corrupt a payload word of the fenced record in place.
+        let pmem = env.regions.pmem_handle();
+        let addr = env.log_base.add(LOG_HEADER_BYTES + 2 * 8);
+        let w = pmem.read_u64(addr);
+        pmem.store_u64(addr, w ^ (1 << 17));
+        pmem.flush(addr);
+        pmem.fence();
+        assert!(matches!(tr.drain(|_| {}), Err(LogError::Corrupt { .. })));
+        // The producer must now get a typed error instead of spinning on
+        // Full forever.
+        assert!(matches!(log.append(&[1]), Err(LogError::Corrupt { .. })));
     }
 
     #[test]

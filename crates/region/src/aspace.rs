@@ -102,7 +102,13 @@ impl AddressSpace {
                 return Err(RegionError::RegionExists(format!("vma at vpage {s}")));
             }
         }
-        vmas.insert(start, Vma { pages, file_id: fid });
+        vmas.insert(
+            start,
+            Vma {
+                pages,
+                file_id: fid,
+            },
+        );
         Ok(())
     }
 
@@ -172,9 +178,7 @@ impl AddressSpace {
         let start = addr.vpage();
         let pages = {
             let vmas = self.inner.vmas.read();
-            vmas.get(&start)
-                .ok_or(RegionError::Unmapped(addr))?
-                .pages
+            vmas.get(&start).ok_or(RegionError::Unmapped(addr))?.pages
         };
         for vp in start..start + pages {
             if !self.inner.pt.read().contains_key(&vp) {

@@ -39,7 +39,10 @@ pub enum RegionError {
 impl fmt::Display for RegionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RegionError::DeviceTooSmall { required, available } => write!(
+            RegionError::DeviceTooSmall {
+                required,
+                available,
+            } => write!(
                 f,
                 "SCM device too small: need {required} bytes, have {available}"
             ),

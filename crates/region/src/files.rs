@@ -74,7 +74,12 @@ impl FileStore {
     ///
     /// # Errors
     /// Propagates I/O errors.
-    pub fn read_page(&self, name: &str, page_off: u64, buf: &mut [u8; PAGE_SIZE as usize]) -> Result<()> {
+    pub fn read_page(
+        &self,
+        name: &str,
+        page_off: u64,
+        buf: &mut [u8; PAGE_SIZE as usize],
+    ) -> Result<()> {
         buf.fill(0);
         let mut f = match File::open(self.path(name)) {
             Ok(f) => f,
@@ -98,9 +103,15 @@ impl FileStore {
     ///
     /// # Errors
     /// Propagates I/O errors.
-    pub fn write_page(&self, name: &str, page_off: u64, buf: &[u8; PAGE_SIZE as usize]) -> Result<()> {
+    pub fn write_page(
+        &self,
+        name: &str,
+        page_off: u64,
+        buf: &[u8; PAGE_SIZE as usize],
+    ) -> Result<()> {
         let mut f = OpenOptions::new()
             .create(true)
+            .truncate(false)
             .write(true)
             .open(self.path(name))?;
         let start = page_off * PAGE_SIZE;

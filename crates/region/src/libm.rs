@@ -322,7 +322,7 @@ mod tests {
     use super::*;
     use mnemosyne_scm::{CrashPolicy, ScmConfig, ScmSim};
     use std::fs;
-    use std::path::PathBuf;
+    use std::path::{Path, PathBuf};
 
     fn setup() -> (ScmSim, RegionManager, PathBuf) {
         let dir = std::env::temp_dir().join(format!(
@@ -337,7 +337,7 @@ mod tests {
         (sim, mgr, dir)
     }
 
-    fn reboot(sim: &ScmSim, dir: &PathBuf) -> (ScmSim, RegionManager) {
+    fn reboot(sim: &ScmSim, dir: &Path) -> (ScmSim, RegionManager) {
         let img = sim.image();
         let sim2 = ScmSim::from_image(&img, ScmConfig::for_testing(8 << 20));
         let mgr2 = RegionManager::boot(&sim2, dir).unwrap();

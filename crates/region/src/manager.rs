@@ -95,8 +95,7 @@ impl RegionManager {
             // Fresh device: format.
             let zero_map = vec![0u8; (layout.inode_base.0 - layout.map_base.0) as usize];
             dma.write(layout.map_base, &zero_map);
-            let zero_inodes =
-                vec![0u8; (INODE_CAP * crate::layout::INODE_ENTRY_BYTES) as usize];
+            let zero_inodes = vec![0u8; (INODE_CAP * crate::layout::INODE_ENTRY_BYTES) as usize];
             dma.write(layout.inode_base, &zero_inodes);
             let mut header = [0u8; 32];
             header[0..8].copy_from_slice(&MAGIC.to_le_bytes());
@@ -197,7 +196,9 @@ impl RegionManager {
         let slot = (0..INODE_CAP)
             .find(|s| {
                 let mut e = [0u8; 8];
-                self.inner.dma.read(self.inner.layout.inode_entry(*s), &mut e);
+                self.inner
+                    .dma
+                    .read(self.inner.layout.inode_entry(*s), &mut e);
                 u64::from_le_bytes(e) == 0
             })
             .ok_or(RegionError::InodeTableFull)?;
@@ -206,7 +207,9 @@ impl RegionManager {
         self.inner.files.create(name)?;
         let addr = self.inner.layout.inode_entry(slot);
         // Write name first, id last: a torn create leaves id==0 (free).
-        self.inner.dma.write(addr.add(8), &(name.len() as u64).to_le_bytes());
+        self.inner
+            .dma
+            .write(addr.add(8), &(name.len() as u64).to_le_bytes());
         self.inner.dma.write(addr.add(16), name.as_bytes());
         self.inner.dma.write(addr, &fid.to_le_bytes());
         st.inodes.insert(fid, name.to_string());
@@ -283,7 +286,9 @@ impl RegionManager {
         self.inner.dma.read(frame_addr, &mut page);
         self.inner.files.write_page(&name, off, &page)?;
         // Release the claim (id word to zero) only after the file is synced.
-        self.inner.dma.write(self.inner.layout.map_entry(frame), &0u64.to_le_bytes());
+        self.inner
+            .dma
+            .write(self.inner.layout.map_entry(frame), &0u64.to_le_bytes());
         st.resident.remove(&(fid, off));
         // Shoot down any page-table entries referring to this page.
         let aspaces = self.inner.aspaces.lock();
@@ -325,7 +330,9 @@ impl RegionManager {
             .collect();
         for key in pages {
             let frame = st.resident.remove(&key).unwrap();
-            self.inner.dma.write(self.inner.layout.map_entry(frame), &0u64.to_le_bytes());
+            self.inner
+                .dma
+                .write(self.inner.layout.map_entry(frame), &0u64.to_le_bytes());
             st.free_frames.push(frame);
             let aspaces = self.inner.aspaces.lock();
             for w in aspaces.iter() {
@@ -338,7 +345,9 @@ impl RegionManager {
             // Clear the inode slot.
             for slot in 0..INODE_CAP {
                 let mut e = [0u8; 8];
-                self.inner.dma.read(self.inner.layout.inode_entry(slot), &mut e);
+                self.inner
+                    .dma
+                    .read(self.inner.layout.inode_entry(slot), &mut e);
                 if u64::from_le_bytes(e) == fid {
                     self.inner
                         .dma

@@ -106,7 +106,7 @@ impl PMem {
     /// # Panics
     /// Panics on an unmapped/unaligned address or a ragged length.
     pub fn wtstore(&self, addr: VAddr, data: &[u8]) {
-        assert!(addr.is_word_aligned() && data.len() % 8 == 0);
+        assert!(addr.is_word_aligned() && data.len().is_multiple_of(8));
         self.for_chunks(addr, data.len(), |p, off, n| {
             self.mem.wtstore(p, &data[off..off + n]);
         });
@@ -139,6 +139,15 @@ impl PMem {
     #[inline]
     pub fn fence(&self) {
         self.mem.fence();
+    }
+
+    /// Crash-point poll for wait loops that issue no durability
+    /// primitives (e.g. a thread stalled waiting for log space): if a
+    /// fault plan has fired on the device, this thread dies here instead
+    /// of spinning forever.
+    #[inline]
+    pub fn poll_crash(&self) {
+        self.mem.poll_crash();
     }
 
     /// Load of `buf.len()` bytes.

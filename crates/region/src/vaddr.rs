@@ -65,6 +65,9 @@ impl VAddr {
     }
 
     /// Returns the address advanced by `bytes`.
+    // Not `std::ops::Add`: the operand is a byte count, not another
+    // address, and callers read `a.add(8)` as pointer arithmetic.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn add(self, bytes: u64) -> VAddr {
         VAddr(self.0 + bytes)
@@ -80,7 +83,7 @@ impl VAddr {
     /// Whether the address is 8-byte aligned.
     #[inline]
     pub fn is_word_aligned(self) -> bool {
-        self.0 % 8 == 0
+        self.0.is_multiple_of(8)
     }
 
     /// Rounds up to the next multiple of `align` (a power of two).

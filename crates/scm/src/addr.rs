@@ -49,10 +49,13 @@ impl PAddr {
     /// Whether this address is 8-byte aligned (required for word primitives).
     #[inline]
     pub fn is_word_aligned(self) -> bool {
-        self.0 % WORD == 0
+        self.0.is_multiple_of(WORD)
     }
 
     /// Returns the address advanced by `bytes`.
+    // Not `std::ops::Add`: the operand is a byte count, not another
+    // address, and callers read `a.add(8)` as pointer arithmetic.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn add(self, bytes: u64) -> PAddr {
         PAddr(self.0 + bytes)

@@ -205,7 +205,10 @@ mod tests {
         let (media, cache) = setup();
         cache.store_bytes(&media, PAddr(128), &[1, 2, 3, 4]);
         assert!(cache.flush_line(&media, PAddr(130)));
-        assert_eq!(media.read_word(PAddr(128)), u64::from_le_bytes([1, 2, 3, 4, 0, 0, 0, 0]));
+        assert_eq!(
+            media.read_word(PAddr(128)),
+            u64::from_le_bytes([1, 2, 3, 4, 0, 0, 0, 0])
+        );
         // Second flush is a no-op on a clean line.
         assert!(!cache.flush_line(&media, PAddr(130)));
     }
@@ -259,11 +262,14 @@ mod tests {
     fn capacity_eviction_writes_back() {
         let media = Media::new(1 << 20);
         let cache = CacheModel::new(SHARDS); // one line per shard
-        // Dirty many lines in the same shard (stride SHARDS*64 bytes).
+                                             // Dirty many lines in the same shard (stride SHARDS*64 bytes).
         for i in 0..10u64 {
             cache.store_bytes(&media, PAddr(i * SHARDS as u64 * CACHE_LINE), &[7]);
         }
-        assert!(cache.dirty_lines() < 10, "older lines must have been evicted");
+        assert!(
+            cache.dirty_lines() < 10,
+            "older lines must have been evicted"
+        );
         // Every line is still readable with its stored value.
         for i in 0..10u64 {
             let mut b = [0u8; 1];

@@ -42,6 +42,7 @@ pub mod cache;
 pub mod clock;
 pub mod config;
 pub mod crash;
+pub mod faults;
 pub mod media;
 pub mod sim;
 pub mod stats;
@@ -52,6 +53,7 @@ pub use addr::{PAddr, CACHE_LINE, WORD};
 pub use clock::EmulationMode;
 pub use config::ScmConfig;
 pub use crash::CrashPolicy;
+pub use faults::{crash_payload, CrashRequested, FaultPlan, FaultSite};
 pub use sim::{DmaHandle, MemHandle, ScmSim};
 pub use stats::MemStats;
 pub use tech::{TechPreset, TechSpec};

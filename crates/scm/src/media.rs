@@ -143,6 +143,48 @@ impl Media {
         }
     }
 
+    /// Flips one bit of the word at `addr` (corruption injection: a failed
+    /// PCM cell or a radiation upset). `bit` is taken modulo 64.
+    ///
+    /// # Panics
+    /// Panics if `addr` is unaligned or out of range.
+    pub fn flip_bit(&self, addr: PAddr, bit: u32) {
+        debug_assert!(addr.is_word_aligned(), "unaligned bit flip at {addr}");
+        self.words[addr.word_index()].fetch_xor(1u64 << (bit % 64), Ordering::Relaxed);
+    }
+
+    /// Overwrites the word at `addr` with pseudo-random garbage derived
+    /// from `seed` (corruption injection: a torn device write that left an
+    /// arbitrary bit pattern).
+    ///
+    /// # Panics
+    /// Panics if `addr` is unaligned or out of range.
+    pub fn tear_word(&self, addr: PAddr, seed: u64) {
+        debug_assert!(addr.is_word_aligned(), "unaligned torn word at {addr}");
+        let garbage = crate::faults::mix64(seed ^ addr.0);
+        self.words[addr.word_index()].store(garbage, Ordering::Relaxed);
+    }
+
+    /// Seeded corruption of `[addr, addr + len)`: flips `flips` independent
+    /// single bits at pseudo-random word/bit positions in the range. The
+    /// same seed corrupts the same bits — tests stay reproducible.
+    ///
+    /// # Panics
+    /// Panics if the range is empty or out of bounds.
+    pub fn corrupt_range(&self, addr: PAddr, len: u64, seed: u64, flips: u32) {
+        assert!(len >= 8, "corruption range must cover at least one word");
+        let words = len / 8;
+        for i in 0..flips {
+            let r = crate::faults::mix64(
+                seed.wrapping_add(i as u64)
+                    .wrapping_mul(0x2545_F491_4F6C_DD1D),
+            );
+            let word = r % words;
+            let bit = ((r >> 32) % 64) as u32;
+            self.flip_bit(PAddr(addr.0 + word * 8), bit);
+        }
+    }
+
     /// Full byte image of the media (for crash/reboot snapshots).
     pub fn image(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.words.len() * 8);
@@ -217,6 +259,46 @@ mod tests {
     #[test]
     fn size_rounds_up_to_words() {
         assert_eq!(Media::new(9).size(), 16);
+    }
+
+    #[test]
+    fn flip_bit_is_involutive() {
+        let m = Media::new(64);
+        m.write_word(PAddr(8), 0xff00);
+        m.flip_bit(PAddr(8), 3);
+        assert_eq!(m.read_word(PAddr(8)), 0xff08);
+        m.flip_bit(PAddr(8), 3);
+        assert_eq!(m.read_word(PAddr(8)), 0xff00);
+        m.flip_bit(PAddr(8), 64); // modulo: bit 0
+        assert_eq!(m.read_word(PAddr(8)), 0xff01);
+    }
+
+    #[test]
+    fn tear_word_is_seed_deterministic() {
+        let a = Media::new(64);
+        let b = Media::new(64);
+        a.tear_word(PAddr(16), 99);
+        b.tear_word(PAddr(16), 99);
+        assert_eq!(a.read_word(PAddr(16)), b.read_word(PAddr(16)));
+        b.tear_word(PAddr(16), 100);
+        assert_ne!(a.read_word(PAddr(16)), b.read_word(PAddr(16)));
+    }
+
+    #[test]
+    fn corrupt_range_flips_within_bounds() {
+        let m = Media::new(256);
+        m.corrupt_range(PAddr(64), 64, 7, 8);
+        let outside: u64 = (0..8).map(|i| m.read_word(PAddr(i * 8))).sum::<u64>()
+            + (16..32).map(|i| m.read_word(PAddr(i * 8))).sum::<u64>();
+        assert_eq!(outside, 0, "corruption must stay inside the range");
+        let inside = (8..16).filter(|&i| m.read_word(PAddr(i * 8)) != 0).count();
+        assert!(inside > 0, "at least one word must be corrupted");
+        // Deterministic per seed.
+        let m2 = Media::new(256);
+        m2.corrupt_range(PAddr(64), 64, 7, 8);
+        for i in 8..16u64 {
+            assert_eq!(m.read_word(PAddr(i * 8)), m2.read_word(PAddr(i * 8)));
+        }
     }
 
     #[test]

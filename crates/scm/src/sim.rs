@@ -5,13 +5,14 @@
 use std::path::Path;
 use std::sync::{Arc, Weak};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::addr::{PAddr, CACHE_LINE};
 use crate::cache::CacheModel;
 use crate::clock::{DelayEngine, EmulationMode, Stopwatch};
 use crate::config::ScmConfig;
 use crate::crash::CrashPolicy;
+use crate::faults::{FaultPlan, FaultSite};
 use crate::media::Media;
 use crate::stats::{MemStats, StatsSnapshot};
 use crate::wc::WcBuffer;
@@ -26,6 +27,41 @@ struct SimInner {
     /// drains its buffer on drop (streaming stores retire eventually),
     /// after which the registry entry is garbage and is pruned lazily.
     wc_registry: Mutex<Vec<Weak<Mutex<WcBuffer>>>>,
+    /// Optional crash-point schedule observing every durability primitive.
+    faults: RwLock<Option<FaultPlan>>,
+}
+
+impl SimInner {
+    /// Fault hook for durability primitives: `true` means perform the
+    /// memory effect. May unwind with
+    /// [`crate::faults::CrashRequested`].
+    #[inline]
+    fn fault_hook(&self, site: FaultSite) -> bool {
+        match self.faults.read().as_ref() {
+            None => true,
+            Some(p) => p.on_primitive(site),
+        }
+    }
+
+    /// Whether the machine died to a fired fault plan (effects must be
+    /// suppressed). Never unwinds — for teardown paths.
+    #[inline]
+    fn dead(&self) -> bool {
+        match self.faults.read().as_ref() {
+            None => false,
+            Some(p) => p.suppress_only(),
+        }
+    }
+
+    /// Like [`SimInner::dead`] but unwinds first on live threads, so
+    /// kernel-path writes (DMA) also stop at the crash instant.
+    #[inline]
+    fn alive(&self) -> bool {
+        match self.faults.read().as_ref() {
+            None => true,
+            Some(p) => p.check_alive(),
+        }
+    }
 }
 
 /// A simulated machine with SCM attached to its memory bus.
@@ -78,8 +114,26 @@ impl ScmSim {
                 config,
                 stats: MemStats::new(),
                 wc_registry: Mutex::new(Vec::new()),
+                faults: RwLock::new(None),
             }),
         }
+    }
+
+    /// Attaches a crash-point schedule. Every durability primitive on every
+    /// handle of this machine reports to `plan` from now on; see
+    /// [`FaultPlan`] for firing semantics.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.inner.faults.write() = Some(plan);
+    }
+
+    /// The attached crash-point schedule, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.inner.faults.read().clone()
+    }
+
+    /// Detaches the crash-point schedule.
+    pub fn clear_fault_plan(&self) {
+        *self.inner.faults.write() = None;
     }
 
     /// Creates a per-thread memory handle with its own write-combining
@@ -115,6 +169,9 @@ impl ScmSim {
     /// failure. Handles remain usable — they model the rebooted machine's
     /// (empty) cache.
     pub fn crash(&self, policy: CrashPolicy) {
+        // The crash consumes any attached fault plan: handles now model the
+        // rebooted machine, whose primitives execute normally again.
+        *self.inner.faults.write() = None;
         let mut pending = self.inner.cache.drain_pending();
         for wc in self.inner.wc_registry.lock().iter() {
             if let Some(wc) = wc.upgrade() {
@@ -133,14 +190,36 @@ impl ScmSim {
         self.inner.media.image()
     }
 
+    /// Corruption injection: flips one bit of the media word at `addr`
+    /// (`bit` taken modulo 64), bypassing cache and buffers — a failed PCM
+    /// cell. Recovery code must *detect* this, not trust it.
+    pub fn inject_bit_flip(&self, addr: PAddr, bit: u32) {
+        self.inner.media.flip_bit(addr, bit);
+    }
+
+    /// Corruption injection: replaces the media word at `addr` with
+    /// seed-derived garbage — a torn device write.
+    pub fn inject_torn_word(&self, addr: PAddr, seed: u64) {
+        self.inner.media.tear_word(addr, seed);
+    }
+
+    /// Corruption injection: flips `flips` seeded single bits across
+    /// `[addr, addr + len)` — e.g. targeted at a log region to exercise
+    /// recovery's corruption detection.
+    pub fn inject_corruption(&self, addr: PAddr, len: u64, seed: u64, flips: u32) {
+        self.inner.media.corrupt_range(addr, len, seed, flips);
+    }
+
     /// Orderly power-down: write every dirty line back, then save the media
     /// image to `path`.
     ///
     /// # Errors
     /// Returns any I/O error from writing the file.
     pub fn shutdown_to(&self, path: &Path) -> std::io::Result<()> {
-        self.inner.cache.writeback_all(&self.inner.media);
-        self.drain_wc_all();
+        if !self.inner.dead() {
+            self.inner.cache.writeback_all(&self.inner.media);
+            self.drain_wc_all();
+        }
         self.inner.media.save(path)
     }
 
@@ -149,6 +228,9 @@ impl ScmSim {
     /// before copying a frame out, so no in-flight streaming store to the
     /// victim page is lost. No latency is charged (kernel context).
     pub fn drain_wc_all(&self) {
+        if self.inner.dead() {
+            return;
+        }
         for wc in self.inner.wc_registry.lock().iter() {
             if let Some(wc) = wc.upgrade() {
                 wc.lock().drain(&self.inner.media);
@@ -194,6 +276,9 @@ impl DmaHandle {
 
     /// Bulk write directly to media.
     pub fn write(&self, addr: PAddr, data: &[u8]) {
+        if !self.inner.alive() {
+            return;
+        }
         self.inner.media.write_bytes(addr, data);
     }
 
@@ -201,10 +286,15 @@ impl DmaHandle {
     /// `addr` out to media, so a following [`DmaHandle::read`] sees current
     /// contents. Used before swapping a page out.
     pub fn flush_range(&self, addr: PAddr, len: u64) {
+        if !self.inner.alive() {
+            return;
+        }
         let first = addr.line_index();
-        let last = addr.add(len.saturating_sub(1).max(0)).line_index();
+        let last = addr.add(len.saturating_sub(1)).line_index();
         for line in first..=last {
-            self.inner.cache.flush_line(&self.inner.media, PAddr(line * CACHE_LINE));
+            self.inner
+                .cache
+                .flush_line(&self.inner.media, PAddr(line * CACHE_LINE));
         }
     }
 }
@@ -234,6 +324,11 @@ impl Drop for MemHandle {
     /// fence, so an orderly handle drop drains its write-combining buffer
     /// (a *crash* is the only thing that discards pending stores).
     fn drop(&mut self) {
+        if self.inner.dead() {
+            // The machine crashed: pending streaming stores do NOT retire;
+            // the crash policy decides their fate.
+            return;
+        }
         self.wc.lock().drain(&self.inner.media);
     }
 }
@@ -243,6 +338,9 @@ impl MemHandle {
     /// after [`MemHandle::flush`] + [`MemHandle::fence`] or eviction.
     #[inline]
     pub fn store(&self, addr: PAddr, data: &[u8]) {
+        if !self.inner.fault_hook(FaultSite::Store) {
+            return;
+        }
         MemStats::bump(&self.inner.stats.stores);
         self.inner.cache.store_bytes(&self.inner.media, addr, data);
     }
@@ -261,6 +359,9 @@ impl MemHandle {
     /// Panics if `addr` is not 8-byte aligned.
     #[inline]
     pub fn wtstore_u64(&self, addr: PAddr, value: u64) {
+        if !self.inner.fault_hook(FaultSite::WtStore) {
+            return;
+        }
         MemStats::bump(&self.inner.stats.wtstore_words);
         self.wc.lock().push(&self.inner.media, addr, value);
     }
@@ -272,13 +373,23 @@ impl MemHandle {
     /// Panics if `addr` is unaligned or `data.len()` is not a multiple of 8.
     pub fn wtstore(&self, addr: PAddr, data: &[u8]) {
         assert!(addr.is_word_aligned(), "wtstore requires word alignment");
-        assert!(data.len() % 8 == 0, "wtstore length must be a multiple of 8");
+        assert!(
+            data.len().is_multiple_of(8),
+            "wtstore length must be a multiple of 8"
+        );
+        if !self.inner.fault_hook(FaultSite::WtStore) {
+            return;
+        }
         let mut wc = self.wc.lock();
         MemStats::add(&self.inner.stats.wtstore_words, (data.len() / 8) as u64);
         for (i, chunk) in data.chunks_exact(8).enumerate() {
             let mut b = [0u8; 8];
             b.copy_from_slice(chunk);
-            wc.push(&self.inner.media, addr.add(i as u64 * 8), u64::from_le_bytes(b));
+            wc.push(
+                &self.inner.media,
+                addr.add(i as u64 * 8),
+                u64::from_le_bytes(b),
+            );
         }
     }
 
@@ -286,6 +397,9 @@ impl MemHandle {
     /// write latency if the line was dirty (§6.1: "for cacheable writes we
     /// insert the delay on the subsequent flush").
     pub fn flush(&self, addr: PAddr) {
+        if !self.inner.fault_hook(FaultSite::Flush) {
+            return;
+        }
         MemStats::bump(&self.inner.stats.flushes);
         if self.inner.cache.flush_line(&self.inner.media, addr) {
             MemStats::bump(&self.inner.stats.dirty_flushes);
@@ -310,10 +424,14 @@ impl MemHandle {
     /// the §6.1 delay: one write latency plus the streamed bytes divided by
     /// the modelled bandwidth.
     pub fn fence(&self) {
+        if !self.inner.fault_hook(FaultSite::Fence) {
+            return;
+        }
         MemStats::bump(&self.inner.stats.fences);
         let bytes = self.wc.lock().drain(&self.inner.media);
         let bw_ns = (bytes as f64 / self.inner.config.write_bandwidth_bytes_per_ns) as u64;
-        self.engine.delay(self.inner.config.write_latency_ns + bw_ns);
+        self.engine
+            .delay(self.inner.config.write_latency_ns + bw_ns);
     }
 
     /// Load of `buf.len()` bytes at `addr`. Sees dirty cached data (normal
@@ -333,6 +451,16 @@ impl MemHandle {
         let mut b = [0u8; 8];
         self.read(addr, &mut b);
         u64::from_le_bytes(b)
+    }
+
+    /// Crash-point poll for wait loops that issue no primitives (e.g. a
+    /// thread stalled on log space): unwinds with
+    /// [`crate::faults::CrashRequested`] if the machine died to a fired
+    /// [`FaultPlan`]. Free when no plan is attached; never counts as a
+    /// primitive.
+    #[inline]
+    pub fn poll_crash(&self) {
+        self.inner.alive();
     }
 
     /// Nanoseconds of modelled SCM delay accounted on this handle.
@@ -444,7 +572,10 @@ mod tests {
         let survived = (0..64u64)
             .filter(|i| m2.read_u64(PAddr(4096 + i * 8)) == u64::MAX)
             .count();
-        assert!(survived > 0 && survived < 64, "expected a torn write, got {survived}/64");
+        assert!(
+            survived > 0 && survived < 64,
+            "expected a torn write, got {survived}/64"
+        );
     }
 
     #[test]
@@ -571,6 +702,69 @@ mod tests {
         let mut b = [0u8; 8];
         d.read(PAddr(4096), &mut b);
         assert_eq!(u64::from_le_bytes(b), 77);
+    }
+
+    #[test]
+    fn fault_plan_counts_primitives() {
+        let s = sim();
+        let plan = FaultPlan::count_only();
+        s.set_fault_plan(plan.clone());
+        let m = s.handle();
+        m.store_u64(PAddr(0), 1);
+        m.wtstore_u64(PAddr(64), 2);
+        m.flush(PAddr(0));
+        m.fence();
+        assert_eq!(plan.primitives(), 4);
+    }
+
+    #[test]
+    fn fault_plan_crash_suppresses_drop_drain() {
+        let s = sim();
+        let plan = FaultPlan::crash_at(2);
+        s.set_fault_plan(plan.clone());
+        let m = s.handle();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.store_u64(PAddr(0), 1); // #0
+            m.wtstore_u64(PAddr(64), 2); // #1
+            m.fence(); // #2 — fires
+        }));
+        let payload = r.unwrap_err();
+        let req = crate::faults::crash_payload(&*payload).expect("injected crash");
+        assert_eq!(req.index, 2);
+        assert_eq!(req.site, FaultSite::Fence);
+        // Machine is dead: dropping the handle must NOT retire the pending
+        // streaming store; the crash policy decides, and DropAll loses it.
+        drop(m);
+        s.crash(CrashPolicy::DropAll);
+        assert_eq!(
+            s.handle().read_u64(PAddr(64)),
+            0,
+            "wtstore must not survive"
+        );
+        assert_eq!(
+            s.handle().read_u64(PAddr(0)),
+            0,
+            "cached store must not survive"
+        );
+    }
+
+    #[test]
+    fn crash_detaches_fault_plan() {
+        let s = sim();
+        s.set_fault_plan(FaultPlan::crash_at(0));
+        let m = s.handle();
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.store_u64(PAddr(0), 1);
+        }))
+        .is_err());
+        s.crash(CrashPolicy::DropAll);
+        assert!(s.fault_plan().is_none());
+        // Rebooted machine executes primitives normally again.
+        let m2 = s.handle();
+        m2.store_u64(PAddr(0), 5);
+        m2.flush(PAddr(0));
+        m2.fence();
+        assert_eq!(m2.read_u64(PAddr(0)), 5);
     }
 
     #[test]

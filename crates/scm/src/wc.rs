@@ -41,7 +41,10 @@ impl WcBuffer {
     /// Panics if `addr` is not 8-byte aligned: `movntq` operates on whole
     /// words.
     pub fn push(&mut self, media: &Media, addr: PAddr, value: u64) {
-        assert!(addr.is_word_aligned(), "wtstore requires word alignment: {addr}");
+        assert!(
+            addr.is_word_aligned(),
+            "wtstore requires word alignment: {addr}"
+        );
         self.pending.push((addr, value));
         self.bytes_since_fence += 8;
         if self.pending.len() > PENDING_CAPACITY_WORDS {

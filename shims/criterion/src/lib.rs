@@ -1,0 +1,173 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace ships
+//! the small API slice its benches use: `criterion_group!`/
+//! `criterion_main!`, benchmark groups, `Bencher::iter` and
+//! `Bencher::iter_batched`. Measurement is a simple calibrated wall-clock
+//! loop (warm-up, then enough iterations to cover ~200 ms) reporting
+//! mean ns/iter — adequate for relative comparisons, with none of real
+//! criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration setup output is batched (accepted for API
+/// compatibility; the shim always runs setup per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Prevents the optimiser from discarding a value (API-compatible
+/// `black_box`).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepts CLI args for API compatibility (ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _c: self,
+            group: name.to_string(),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a named benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{name}", self.group), &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; prints nothing).
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, f: &mut impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Calibration pass: one iteration to estimate cost.
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(200);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+    b.iters = iters;
+    b.elapsed = Duration::ZERO;
+    f(&mut b);
+    let ns = b.elapsed.as_nanos() as f64 / iters as f64;
+    println!("bench {label:<40} {ns:>12.1} ns/iter ({iters} iters)");
+}
+
+/// Times the closure the harness hands to benchmark functions.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with untimed per-iteration `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut ran = 0u64;
+        run_one("t", &mut |b: &mut Bencher| {
+            b.iter(|| ran += 1);
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        run_one("t2", &mut |b: &mut Bencher| {
+            b.iter_batched(|| setups += 1, |()| runs += 1, BatchSize::SmallInput);
+        });
+        assert_eq!(setups, runs);
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace ships
+//! the slice of proptest it uses: the `proptest!` test macro,
+//! `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`, `any::<T>()`, integer
+//! ranges as strategies, tuple strategies, `prop_map`, and
+//! `collection::vec`. Differences from the real crate:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs and the
+//!   deterministic seed that produced them, but is not minimised.
+//! * **Deterministic by default.** Case `i` of test `t` derives its RNG
+//!   seed from `(t, i)` and the optional `PROPTEST_SEED` environment
+//!   variable, so CI failures reproduce locally without a seed file.
+//! * Default case count is 64 (override per block with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` or globally with
+//!   `PROPTEST_CASES`).
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s with lengths drawn from `range` and
+    /// elements from `element`.
+    pub fn vec<S: Strategy>(element: S, range: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(range.start < range.end, "empty length range");
+        VecStrategy { element, range }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        range: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.below(self.range.start as u64, self.range.end as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Supports the real crate's common form:
+/// an optional `#![proptest_config(..)]` header followed by `#[test]`
+/// functions whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr) $(
+        $(#[$attr:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut runner =
+                    $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+                runner.run(|rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                    let inputs = {
+                        let mut s = String::new();
+                        $(s.push_str(&format!(
+                            concat!(stringify!($arg), " = {:?}; "), &$arg));)+
+                        s
+                    };
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    (inputs, result)
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({:?} != {:?})", format!($($fmt)*), l, r)));
+        }
+    }};
+}
+
+/// Fails the current property case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Cmd {
+        A(u8),
+        B,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn addition_commutes(a in any::<u32>(), b in any::<u32>()) {
+            prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(any::<u8>(), 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7, "len = {}", v.len());
+        }
+
+        #[test]
+        fn oneof_and_map_compose(cmds in crate::collection::vec(
+            prop_oneof![
+                any::<u8>().prop_map(Cmd::A),
+                Just(Cmd::B),
+            ], 1..20))
+        {
+            prop_assert!(!cmds.is_empty());
+        }
+
+        #[test]
+        fn ranges_are_strategies(x in 10u64..20, y in 3usize..4) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert_eq!(y, 3);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(8), "always_fails");
+            runner.run(|rng| {
+                let x = any::<u64>().generate(rng);
+                (
+                    format!("x = {x:?}; "),
+                    Err(TestCaseError::fail("nope".into())),
+                )
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("x = "), "missing inputs in: {msg}");
+        assert!(msg.contains("nope"), "missing reason in: {msg}");
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        fn collect() -> Vec<u64> {
+            let mut out = Vec::new();
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(5), "det");
+            runner.run(|rng| {
+                out.push(any::<u64>().generate(rng));
+                (String::new(), Ok(()))
+            });
+            out
+        }
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,0 +1,151 @@
+//! The case runner: deterministic per-case RNGs, panic capture, input
+//! reporting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Why a property case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assert*` failure with its message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with `reason`.
+    pub fn fail(reason: String) -> Self {
+        TestCaseError::Fail(reason)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// The per-case RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// The next 64 random bits.
+    // Not `Iterator::next`: the stream is infinite and callers want a
+    // plain `u64`, not an `Option`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn below(&mut self, lo: u64, hi: u64) -> u64 {
+        self.0.gen_range(lo..hi)
+    }
+}
+
+/// Drives one property over its cases.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the property named `name`. The base seed mixes
+    /// the property name with `PROPTEST_SEED` (default 0), so runs are
+    /// deterministic and per-test independent.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let env_seed: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ env_seed;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        TestRunner {
+            config,
+            name,
+            base_seed: h,
+        }
+    }
+
+    /// Runs every case. `case` receives the case RNG and returns the
+    /// formatted inputs plus the case outcome; panics inside the case are
+    /// captured and reported like failures, with the inputs that caused
+    /// them.
+    ///
+    /// # Panics
+    /// Panics (failing the enclosing `#[test]`) on the first failing case.
+    pub fn run(
+        &mut self,
+        mut case: impl FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+    ) {
+        for i in 0..self.config.cases {
+            let seed = self
+                .base_seed
+                .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = TestRng::from_seed(seed);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+            let (inputs, verdict) = match outcome {
+                Ok(pair) => pair,
+                Err(payload) => {
+                    let msg = panic_message(&payload);
+                    panic!(
+                        "proptest {}: case {i}/{} panicked: {msg} \
+                         (rerun with PROPTEST_SEED to vary cases; case seed {seed:#x})",
+                        self.name, self.config.cases
+                    );
+                }
+            };
+            if let Err(e) = verdict {
+                panic!(
+                    "proptest {}: case {i}/{} failed: {e}; inputs: {inputs}\
+                     (case seed {seed:#x})",
+                    self.name, self.config.cases
+                );
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

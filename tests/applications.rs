@@ -11,11 +11,15 @@ use mnemosyne_apps::tokyo::{KvStore, MnemosyneTokyo, MsyncTokyo};
 use pcmdisk::{DiskConfig, PcmDisk, SimpleFs};
 
 fn dir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!(
-        "it-apps-{tag}-{}-{:?}",
-        std::process::id(),
-        std::thread::current().id()
-    ));
+    // Unique per run (counter + pid + timestamp), so a leftover directory
+    // from a killed earlier run can never alias this one.
+    static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = N.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    let d = std::env::temp_dir().join(format!("it-apps-{tag}-{}-{n}-{t:08x}", std::process::id()));
     std::fs::remove_dir_all(&d).ok();
     d
 }
@@ -66,7 +70,7 @@ fn mnemosyne_ldap_backend_survives_crash() {
             s.add(&w.entry(i)).unwrap();
         }
     }
-    let m = Arc::try_unwrap(m).ok().expect("sole owner");
+    let m = Arc::try_unwrap(m).expect("sole owner");
     let m2 = Arc::new(m.crash_reboot(CrashPolicy::random(42)).unwrap());
     let b = BackMnemosyne::open(Arc::clone(&m2)).unwrap();
     let mut s = b.session();

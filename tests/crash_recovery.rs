@@ -4,15 +4,19 @@
 
 use std::path::PathBuf;
 
-use mnemosyne::{CrashPolicy, Mnemosyne, Truncation};
+use mnemosyne::{crash_sweep, CrashPolicy, Error, Mnemosyne, ScmConfig, SweepConfig, Truncation};
 use mnemosyne_pds::{PBPlusTree, PHashTable, PRbTree};
 
 fn dir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!(
-        "it-crash-{tag}-{}-{:?}",
-        std::process::id(),
-        std::thread::current().id()
-    ));
+    // Unique per run (counter + pid + timestamp), so a leftover directory
+    // from a killed earlier run can never alias this one.
+    static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = N.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    let d = std::env::temp_dir().join(format!("it-crash-{tag}-{}-{n}-{t:08x}", std::process::id()));
     std::fs::remove_dir_all(&d).ok();
     d
 }
@@ -50,7 +54,7 @@ fn hashtable_consistent_after_crash_between_every_batch() {
             );
         }
         for i in inserted..inserted + 50 {
-            h.put(&mut th, &i.to_le_bytes(), &vec![(i % 256) as u8; 48])
+            h.put(&mut th, &i.to_le_bytes(), &[(i % 256) as u8; 48])
                 .unwrap();
         }
         inserted += 50;
@@ -111,6 +115,125 @@ fn heap_never_double_allocates_across_crashes() {
         }
         m = m.crash_reboot(CrashPolicy::random(round + 77)).unwrap();
     }
+    std::fs::remove_dir_all(&d).ok();
+}
+
+// --- Systematic crash-point sweep (the fault-injection harness) ------
+//
+// A seeded multi-cell update workload where every transaction moves all
+// cells and the round counter together. After a crash at *any* durability
+// primitive, the recovered state must correspond to exactly one committed
+// round — a torn mixture of two rounds is the failure the redo logs exist
+// to prevent.
+
+const SWEEP_CELLS: u64 = 32;
+const SWEEP_ROUNDS: u64 = 6;
+
+fn lcg(x: u64) -> u64 {
+    x.wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+}
+
+fn sweep_builder(p: &std::path::Path) -> mnemosyne::MnemosyneBuilder {
+    Mnemosyne::builder(p)
+        .scm_config(ScmConfig::virtual_clock(8 << 20))
+        .truncation(Truncation::Sync)
+}
+
+fn sweep_workload(m: &Mnemosyne) -> Result<(), Error> {
+    let area = m.pstatic("cells", SWEEP_CELLS * 8)?;
+    let round_cell = m.pstatic("round", 8)?;
+    let mut th = m.register_thread()?;
+    for round in 1..=SWEEP_ROUNDS {
+        th.atomic(|tx| {
+            let mut x = lcg(round);
+            for i in 0..SWEEP_CELLS {
+                x = lcg(x);
+                tx.write_u64(area.add(i * 8), x)?;
+            }
+            tx.write_u64(round_cell, round)?;
+            Ok(())
+        })?;
+    }
+    Ok(())
+}
+
+fn sweep_check(m: &Mnemosyne) -> Result<(), String> {
+    let area = m
+        .pstatic("cells", SWEEP_CELLS * 8)
+        .map_err(|e| e.to_string())?;
+    let round_cell = m.pstatic("round", 8).map_err(|e| e.to_string())?;
+    let mut th = m.register_thread().map_err(|e| e.to_string())?;
+    let r = th
+        .atomic(|tx| tx.read_u64(round_cell))
+        .map_err(|e| e.to_string())?;
+    if r > SWEEP_ROUNDS {
+        return Err(format!("recovered round {r} was never committed"));
+    }
+    let mut x = lcg(r);
+    for i in 0..SWEEP_CELLS {
+        x = lcg(x);
+        let want = if r == 0 { 0 } else { x };
+        let got = th
+            .atomic(|tx| tx.read_u64(area.add(i * 8)))
+            .map_err(|e| e.to_string())?;
+        if got != want {
+            return Err(format!(
+                "cell {i} = {got:#x}, want {want:#x} for committed round {r}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn sweep_200_distinct_crash_points_all_recover() {
+    let d = dir("sweep200");
+    let cfg = SweepConfig {
+        max_points: 200,
+        recovery_points: 0,
+        policy: CrashPolicy::DropAll,
+        keep_failing_dirs: true,
+    };
+    let report = crash_sweep(&d, &cfg, sweep_builder, sweep_workload, sweep_check).unwrap();
+    assert!(
+        report.passed(),
+        "{} of {} crash points failed; first: {}",
+        report.failures.len(),
+        report.points_tested,
+        report.failures[0]
+    );
+    assert!(
+        report.points_tested >= 200,
+        "only {} crash points covered ({} primitives)",
+        report.points_tested,
+        report.workload_primitives
+    );
+    assert!(report.crashes_fired >= 190, "report: {report}");
+    std::fs::remove_dir_all(&d).ok();
+}
+
+#[test]
+fn sweep_crashes_mid_recovery_and_still_recovers() {
+    let d = dir("sweepdouble");
+    let cfg = SweepConfig {
+        max_points: 6,
+        recovery_points: 3,
+        policy: CrashPolicy::DropAll,
+        keep_failing_dirs: true,
+    };
+    let report = crash_sweep(&d, &cfg, sweep_builder, sweep_workload, sweep_check).unwrap();
+    assert!(
+        report.passed(),
+        "{} failures; first: {}",
+        report.failures.len(),
+        report.failures[0]
+    );
+    assert!(
+        report.recovery_points_tested >= 12,
+        "only {} mid-recovery crash points covered",
+        report.recovery_points_tested
+    );
     std::fs::remove_dir_all(&d).ok();
 }
 

@@ -8,11 +8,15 @@ use mnemosyne::{Mnemosyne, VAddr};
 use mnemosyne_pds::{PAvlTree, PBPlusTree, PHashTable, PRbTree};
 
 fn dir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!(
-        "it-tx-{tag}-{}-{:?}",
-        std::process::id(),
-        std::thread::current().id()
-    ));
+    // Unique per run (counter + pid + timestamp), so a leftover directory
+    // from a killed earlier run can never alias this one.
+    static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = N.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    let d = std::env::temp_dir().join(format!("it-tx-{tag}-{}-{n}-{t:08x}", std::process::id()));
     std::fs::remove_dir_all(&d).ok();
     d
 }

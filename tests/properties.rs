@@ -12,12 +12,15 @@ use mnemosyne::{CrashPolicy, Mnemosyne, TornbitLog};
 use mnemosyne_pds::{PBPlusTree, PHashTable, PRbTree};
 
 fn dir(tag: &str) -> PathBuf {
+    // Unique per run (counter + pid + timestamp), so a leftover directory
+    // from a killed earlier run can never alias this one.
     static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let n = N.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let d = std::env::temp_dir().join(format!(
-        "it-prop-{tag}-{}-{n}",
-        std::process::id()
-    ));
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    let d = std::env::temp_dir().join(format!("it-prop-{tag}-{}-{n}-{t:08x}", std::process::id()));
     std::fs::remove_dir_all(&d).ok();
     d
 }
@@ -31,7 +34,8 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(k, v)| Op::Put(k, v)),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(k, v)| Op::Put(k, v)),
         any::<u8>().prop_map(Op::Del),
         any::<u8>().prop_map(Op::Get),
     ]
@@ -165,7 +169,8 @@ fn pstatic_directory_is_exhaustive_and_stable() {
     let m2 = m.crash_reboot(CrashPolicy::DropAll).unwrap();
     for (i, &a) in addrs.iter().enumerate() {
         assert_eq!(
-            m2.pstatic(&format!("var{i}"), 8 + (i as u64 % 4) * 8).unwrap(),
+            m2.pstatic(&format!("var{i}"), 8 + (i as u64 % 4) * 8)
+                .unwrap(),
             a
         );
     }
