@@ -3,14 +3,22 @@
 
 fn main() {
     let scale = mnemosyne_bench::Scale::from_env();
-    mnemosyne_bench::exp::table1::run(scale);
-    mnemosyne_bench::exp::table4::run(scale);
-    mnemosyne_bench::exp::table5::run(scale);
-    mnemosyne_bench::exp::table6::run(scale);
-    mnemosyne_bench::exp::fig4::run(scale);
-    mnemosyne_bench::exp::fig5::run(scale);
-    mnemosyne_bench::exp::fig6::run(scale);
-    mnemosyne_bench::exp::fig7::run(scale);
-    mnemosyne_bench::exp::microcosts::run(scale);
-    mnemosyne_bench::exp::reincarnation::run(scale);
+    mnemosyne_bench::util::run_experiment("table1", scale, mnemosyne_bench::exp::table1::run);
+    mnemosyne_bench::util::run_experiment("table4", scale, mnemosyne_bench::exp::table4::run);
+    mnemosyne_bench::util::run_experiment("table5", scale, mnemosyne_bench::exp::table5::run);
+    mnemosyne_bench::util::run_experiment("table6", scale, mnemosyne_bench::exp::table6::run);
+    mnemosyne_bench::util::run_experiment("fig4", scale, mnemosyne_bench::exp::fig4::run);
+    mnemosyne_bench::util::run_experiment("fig5", scale, mnemosyne_bench::exp::fig5::run);
+    mnemosyne_bench::util::run_experiment("fig6", scale, mnemosyne_bench::exp::fig6::run);
+    mnemosyne_bench::util::run_experiment("fig7", scale, mnemosyne_bench::exp::fig7::run);
+    mnemosyne_bench::util::run_experiment(
+        "microcosts",
+        scale,
+        mnemosyne_bench::exp::microcosts::run,
+    );
+    mnemosyne_bench::util::run_experiment(
+        "reincarnation",
+        scale,
+        mnemosyne_bench::exp::reincarnation::run,
+    );
 }

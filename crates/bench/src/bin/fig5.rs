@@ -3,5 +3,5 @@
 
 fn main() {
     let scale = mnemosyne_bench::Scale::from_env();
-    mnemosyne_bench::exp::fig5::run(scale);
+    mnemosyne_bench::util::run_experiment("fig5", scale, mnemosyne_bench::exp::fig5::run);
 }

@@ -3,5 +3,5 @@
 
 fn main() {
     let scale = mnemosyne_bench::Scale::from_env();
-    mnemosyne_bench::exp::fig6::run(scale);
+    mnemosyne_bench::util::run_experiment("fig6", scale, mnemosyne_bench::exp::fig6::run);
 }

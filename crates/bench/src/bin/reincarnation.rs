@@ -3,5 +3,9 @@
 
 fn main() {
     let scale = mnemosyne_bench::Scale::from_env();
-    mnemosyne_bench::exp::reincarnation::run(scale);
+    mnemosyne_bench::util::run_experiment(
+        "reincarnation",
+        scale,
+        mnemosyne_bench::exp::reincarnation::run,
+    );
 }

@@ -4,5 +4,9 @@
 
 fn main() {
     let scale = mnemosyne_bench::Scale::from_env();
-    mnemosyne_bench::exp::reliability::run(scale);
+    mnemosyne_bench::util::run_experiment(
+        "reliability",
+        scale,
+        mnemosyne_bench::exp::reliability::run,
+    );
 }

@@ -3,5 +3,5 @@
 
 fn main() {
     let scale = mnemosyne_bench::Scale::from_env();
-    mnemosyne_bench::exp::table6::run(scale);
+    mnemosyne_bench::util::run_experiment("table6", scale, mnemosyne_bench::exp::table6::run);
 }

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bdbstore::{BdbStore, StoreConfig};
-use mnemosyne::{EmulationMode, Mnemosyne, ScmConfig, Truncation};
+use mnemosyne::{EmulationMode, Mnemosyne, ScmConfig, Telemetry, Truncation};
 use pcmdisk::{DiskConfig, PcmDisk, SimpleFs};
 
 /// Experiment scale: `Quick` keeps the whole suite under a few minutes;
@@ -133,6 +133,45 @@ pub fn throughput_ops_per_s(
     }
     let total: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
     total as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Directory experiment sidecars land in: `$REPRO_OUT`, or
+/// `target/repro` relative to the working directory.
+pub fn repro_out_dir() -> PathBuf {
+    std::env::var_os("REPRO_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join("repro"))
+}
+
+/// Runs one experiment and writes its machine-readable telemetry
+/// sidecar to `<repro_out_dir>/<name>/telemetry.json`.
+///
+/// The sidecar holds the *delta* of the process-wide telemetry across
+/// the call — crash/reboot cycles inside the experiment rebuild the
+/// machine (and its registry), so per-machine snapshots would miss the
+/// pre-crash half; [`Telemetry::process_snapshot`] aggregates retired
+/// and live registries, and `since()` subtracts whatever earlier
+/// experiments in the same process (e.g. `repro_all`) already counted.
+/// See METRICS.md for the schema and every metric's meaning.
+pub fn run_experiment(name: &str, scale: Scale, f: impl FnOnce(Scale)) {
+    let before = Telemetry::process_snapshot();
+    f(scale);
+    let delta = Telemetry::process_snapshot().since(&before);
+    let scale_tag = match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    let json = delta.to_json_with(&[("experiment", name), ("scale", scale_tag)]);
+    let dir = repro_out_dir().join(name);
+    let path = dir.join("telemetry.json");
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &json)) {
+        eprintln!(
+            "warning: could not write telemetry sidecar {}: {e}",
+            path.display()
+        );
+    } else {
+        println!("telemetry: {}", path.display());
+    }
 }
 
 /// Prints an experiment banner.

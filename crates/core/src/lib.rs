@@ -58,6 +58,9 @@ pub use mnemosyne_scm::{
     PAddr, ScmConfig, ScmSim, TechPreset,
 };
 
+pub use mnemosyne_scm::obs;
+pub use mnemosyne_scm::obs::{Telemetry, TelemetrySnapshot};
+
 mod pstatic;
 pub mod sweep;
 mod updates;
@@ -352,6 +355,15 @@ impl Mnemosyne {
     /// The simulated machine.
     pub fn sim(&self) -> &ScmSim {
         &self.sim
+    }
+
+    /// The machine's telemetry registry, holding every `scm.*`,
+    /// `region.*`, `rawl.*`, `pheap.*` and `mtm.*` metric of this boot.
+    /// Note that [`Mnemosyne::crash_reboot`] builds a *new* machine, and
+    /// with it a new registry; use
+    /// [`Telemetry::process_snapshot`] to aggregate across reboots.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.sim.telemetry()
     }
 
     /// The backing-file directory.

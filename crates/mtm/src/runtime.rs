@@ -5,12 +5,15 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 
+use mnemosyne_obs::{Counter, Histogram, Telemetry, Unit};
 use mnemosyne_pheap::PHeap;
 use mnemosyne_rawl::{LogError, LogTruncator, TornbitLog, LOG_HEADER_BYTES};
 use mnemosyne_region::{PMem, Regions, VAddr};
+use mnemosyne_scm::EmulationMode;
 
 use crate::error::{TxAbort, TxError};
 use crate::gclock::GlobalClock;
@@ -82,6 +85,80 @@ pub struct MtmStats {
     pub aborts: u64,
     /// Transactions replayed from the logs at the last open.
     pub replayed: u64,
+    /// Commits that stalled waiting for the asynchronous truncator to
+    /// free log space (§5: "program threads may stall").
+    pub stalls: u64,
+}
+
+/// `mtm.*` telemetry registered in the machine's registry. The runtime
+/// keeps its own [`MtmStats`] atomics for instance-local queries; these
+/// registry handles carry the same events into the machine-wide
+/// snapshot, plus the per-phase commit-latency attribution the paper's
+/// Figures 4–6 are about.
+pub(crate) struct MtmMetrics {
+    /// Transaction attempts ([`Tx::begin`] calls, including conflict
+    /// retries). Identity: `tx_begins == commits + aborts`.
+    pub(crate) tx_begins: Counter,
+    pub(crate) commits: Counter,
+    pub(crate) aborts: Counter,
+    pub(crate) replayed: Counter,
+    pub(crate) truncation_stalls: Counter,
+    /// Time a committing thread spent waiting for log space (async mode).
+    pub(crate) stall_ns: Histogram,
+    /// End-to-end commit latency (update transactions only).
+    pub(crate) commit_ns: Histogram,
+    /// Commit phase: read-set validation.
+    pub(crate) validate_ns: Histogram,
+    /// Commit phase: building + appending + fencing the redo record.
+    pub(crate) log_ns: Histogram,
+    /// Commit phase: writing buffered values back to their home locations.
+    pub(crate) writeback_ns: Histogram,
+    /// Commit phase: synchronous flush + fence + truncate (sync mode).
+    pub(crate) truncate_ns: Histogram,
+}
+
+impl MtmMetrics {
+    fn new(telemetry: &Telemetry) -> MtmMetrics {
+        MtmMetrics {
+            tx_begins: telemetry.counter("mtm.tx_begins", Unit::Count),
+            commits: telemetry.counter("mtm.commits", Unit::Count),
+            aborts: telemetry.counter("mtm.aborts", Unit::Count),
+            replayed: telemetry.counter("mtm.replayed", Unit::Count),
+            truncation_stalls: telemetry.counter("mtm.truncation_stalls", Unit::Count),
+            stall_ns: telemetry.histogram("mtm.stall_ns", Unit::Nanoseconds),
+            commit_ns: telemetry.histogram("mtm.commit_ns", Unit::Nanoseconds),
+            validate_ns: telemetry.histogram("mtm.commit.validate_ns", Unit::Nanoseconds),
+            log_ns: telemetry.histogram("mtm.commit.log_ns", Unit::Nanoseconds),
+            writeback_ns: telemetry.histogram("mtm.commit.writeback_ns", Unit::Nanoseconds),
+            truncate_ns: telemetry.histogram("mtm.commit.truncate_ns", Unit::Nanoseconds),
+        }
+    }
+}
+
+/// Measures one commit phase in the handle's time domain: the SCM
+/// emulator's virtual clock under [`EmulationMode::Virtual`] (so the
+/// attribution matches the modelled latencies, not host noise), the wall
+/// clock otherwise.
+struct PhaseTimer {
+    wall: Instant,
+    accounted: u64,
+}
+
+impl PhaseTimer {
+    fn start(pmem: &PMem) -> PhaseTimer {
+        PhaseTimer {
+            wall: Instant::now(),
+            accounted: pmem.accounted_ns(),
+        }
+    }
+
+    fn stop(&self, pmem: &PMem) -> u64 {
+        if pmem.mode() == EmulationMode::Virtual {
+            pmem.accounted_ns().saturating_sub(self.accounted)
+        } else {
+            self.wall.elapsed().as_nanos() as u64
+        }
+    }
 }
 
 struct ManagerHandle {
@@ -105,6 +182,8 @@ pub struct MtmRuntime {
     commits: AtomicU64,
     aborts: AtomicU64,
     replayed: AtomicU64,
+    stalls: AtomicU64,
+    metrics: MtmMetrics,
     manager: Mutex<Option<ManagerHandle>>,
 }
 
@@ -188,6 +267,8 @@ impl MtmRuntime {
             log.truncate_all();
         }
 
+        let metrics = MtmMetrics::new(regions.telemetry());
+        metrics.replayed.add(replayed);
         let rt = Arc::new(MtmRuntime {
             clock: GlobalClock::new(),
             locks: LockTable::new(config.lock_table_size),
@@ -197,6 +278,8 @@ impl MtmRuntime {
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
             replayed: AtomicU64::new(replayed),
+            stalls: AtomicU64::new(0),
+            metrics,
             manager: Mutex::new(None),
             slots: Mutex::new(Vec::new()),
         });
@@ -264,7 +347,17 @@ impl MtmRuntime {
             commits: self.commits.load(Ordering::Relaxed),
             aborts: self.aborts.load(Ordering::Relaxed),
             replayed: self.replayed.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
         }
+    }
+
+    /// The machine's telemetry registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.regions.telemetry()
+    }
+
+    pub(crate) fn metrics(&self) -> &MtmMetrics {
+        &self.metrics
     }
 
     /// The global commit clock.
@@ -452,10 +545,13 @@ impl Tx<'_> {
             // Read-only: reads were validated incrementally.
             self.release_locks_restoring();
             self.th.rt().commits.fetch_add(1, Ordering::Relaxed);
+            self.th.rt().metrics().commits.inc();
             return Ok(());
         }
+        let commit_timer = PhaseTimer::start(self.th.pmem());
 
         // Validate the read set.
+        let validate_timer = PhaseTimer::start(self.th.pmem());
         for &(idx, version) in &self.read_set {
             match self.th.rt().locks().probe(idx) {
                 crate::locks::LockState::Version(v) if v == version => {}
@@ -464,10 +560,16 @@ impl Tx<'_> {
                     self.release_locks_restoring();
                     self.rollback_allocs();
                     self.th.rt().aborts.fetch_add(1, Ordering::Relaxed);
+                    self.th.rt().metrics().aborts.inc();
                     return Err(TxAbort::Conflict);
                 }
             }
         }
+        self.th
+            .rt()
+            .metrics()
+            .validate_ns
+            .record(validate_timer.stop(self.th.pmem()));
 
         let ts = self.th.rt().clock().tick();
 
@@ -479,6 +581,8 @@ impl Tx<'_> {
             record.push(val);
         }
         let truncation = self.th.rt().truncation();
+        let log_timer = PhaseTimer::start(self.th.pmem());
+        let mut stall_timer: Option<PhaseTimer> = None;
         loop {
             match self.th.log_mut().append(&record) {
                 Ok(()) => break,
@@ -493,6 +597,11 @@ impl Tx<'_> {
                     // log-manager thread died at a crash point, this is
                     // the only place the stalled thread can die too.
                     Truncation::Async => {
+                        if stall_timer.is_none() {
+                            stall_timer = Some(PhaseTimer::start(self.th.pmem()));
+                            self.th.rt().stalls.fetch_add(1, Ordering::Relaxed);
+                            self.th.rt().metrics().truncation_stalls.inc();
+                        }
                         self.th.pmem().poll_crash();
                         std::thread::yield_now();
                     }
@@ -504,29 +613,54 @@ impl Tx<'_> {
                     self.release_locks_restoring();
                     self.rollback_allocs();
                     self.th.rt().aborts.fetch_add(1, Ordering::Relaxed);
+                    self.th.rt().metrics().aborts.inc();
                     return Err(TxAbort::Log(e));
                 }
             }
         }
+        if let Some(t) = stall_timer {
+            self.th
+                .rt()
+                .metrics()
+                .stall_ns
+                .record(t.stop(self.th.pmem()));
+        }
         // The single commit fence: the record is durable, but not yet
         // visible to the async truncator (write-back hasn't happened).
         self.th.log_mut().flush_unpublished();
+        self.th
+            .rt()
+            .metrics()
+            .log_ns
+            .record(log_timer.stop(self.th.pmem()));
 
         // Write back buffered values (lazy version management).
+        let writeback_timer = PhaseTimer::start(self.th.pmem());
         for (&addr, &val) in &self.write_set {
             self.th.pmem().store_u64(VAddr(addr), val);
         }
         // Now the truncator may consume (flush + truncate) the record.
         self.th.log_mut().publish();
+        self.th
+            .rt()
+            .metrics()
+            .writeback_ns
+            .record(writeback_timer.stop(self.th.pmem()));
 
         if truncation == Truncation::Sync {
             // Force data, then truncate: walk distinct cache lines.
+            let truncate_timer = PhaseTimer::start(self.th.pmem());
             let lines: HashSet<u64> = self.write_set.keys().map(|a| a & !63).collect();
             for line in lines {
                 self.th.pmem().flush(VAddr(line));
             }
             self.th.pmem().fence();
             self.th.log_mut().truncate_all();
+            self.th
+                .rt()
+                .metrics()
+                .truncate_ns
+                .record(truncate_timer.stop(self.th.pmem()));
         }
 
         // Publish the new version and release ownership.
@@ -545,6 +679,12 @@ impl Tx<'_> {
             }
         }
         self.th.rt().commits.fetch_add(1, Ordering::Relaxed);
+        self.th.rt().metrics().commits.inc();
+        self.th
+            .rt()
+            .metrics()
+            .commit_ns
+            .record(commit_timer.stop(self.th.pmem()));
         Ok(())
     }
 
@@ -554,6 +694,7 @@ impl Tx<'_> {
         self.release_locks_restoring();
         self.rollback_allocs();
         self.th.rt().aborts.fetch_add(1, Ordering::Relaxed);
+        self.th.rt().metrics().aborts.inc();
     }
 
     fn release_locks_restoring(&mut self) {

@@ -42,6 +42,7 @@ impl std::fmt::Debug for Tx<'_> {
 
 impl<'a> Tx<'a> {
     pub(crate) fn begin(th: &'a mut TxThread) -> Tx<'a> {
+        th.rt().metrics().tx_begins.inc();
         let rv = th.rt().clock().now();
         Tx {
             th,

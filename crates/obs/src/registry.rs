@@ -1,0 +1,262 @@
+//! The telemetry registry.
+//!
+//! Each simulated machine ([`crate::Telemetry::new`] per `ScmSim` /
+//! `PcmDisk`) gets its own registry so tests that boot independent
+//! devices in the same process observe independent counters. Bench
+//! binaries, which want one number per run regardless of how many
+//! reboots the experiment performed, use
+//! [`Telemetry::process_snapshot`], which folds every registry created
+//! in this process — live or already dropped — into one snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use crate::histogram::{Histogram, HistogramCore};
+use crate::metric::{Counter, CounterCore, Kind, MaxGauge, Unit};
+use crate::snapshot::TelemetrySnapshot;
+
+/// Process-wide accounting: snapshots of dropped registries plus weak
+/// handles to live ones.
+struct Global {
+    retired: TelemetrySnapshot,
+    live: Vec<Weak<Inner>>,
+}
+
+fn global() -> &'static Mutex<Global> {
+    static GLOBAL: std::sync::OnceLock<Mutex<Global>> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        Mutex::new(Global {
+            retired: TelemetrySnapshot::default(),
+            live: Vec::new(),
+        })
+    })
+}
+
+pub(crate) struct Inner {
+    counters: Mutex<BTreeMap<&'static str, Arc<CounterCore>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<HistogramCore>>>,
+}
+
+impl Inner {
+    fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::collect(&self.counters.lock(), &self.histograms.lock())
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Fold this registry's final state into the process totals so
+        // sidecar exports survive crash/reboot cycles that rebuild the
+        // simulated machine (and with it, the registry).
+        let snap = TelemetrySnapshot::collect(self.counters.get_mut(), self.histograms.get_mut());
+        let mut g = global().lock();
+        g.retired.merge(&snap);
+        g.live.retain(|w| w.strong_count() > 0);
+    }
+}
+
+/// A registry of named metrics. Cloning is cheap (shared `Arc`); all
+/// clones register into and snapshot the same underlying state.
+///
+/// Registration is idempotent by name: asking twice for the same name
+/// returns handles to the same metric. Re-registering a name with a
+/// different unit or kind is a programming error and panics.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::new()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("counters", &self.inner.counters.lock().len())
+            .field("histograms", &self.inner.histograms.lock().len())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// Creates an empty registry and enrolls it in the process totals.
+    pub fn new() -> Telemetry {
+        let inner = Arc::new(Inner {
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        });
+        let mut g = global().lock();
+        g.live.retain(|w| w.strong_count() > 0);
+        g.live.push(Arc::downgrade(&inner));
+        drop(g);
+        Telemetry { inner }
+    }
+
+    /// Registers (or retrieves) a summing event counter.
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different unit or as a
+    /// different metric type.
+    pub fn counter(&self, name: &'static str, unit: Unit) -> Counter {
+        Counter(self.counter_core(name, unit, Kind::Sum))
+    }
+
+    /// Registers (or retrieves) a high-water-mark gauge.
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different unit or as a
+    /// different metric type.
+    pub fn max_gauge(&self, name: &'static str, unit: Unit) -> MaxGauge {
+        MaxGauge(self.counter_core(name, unit, Kind::Max))
+    }
+
+    fn counter_core(&self, name: &'static str, unit: Unit, kind: Kind) -> Arc<CounterCore> {
+        if self.inner.histograms.lock().contains_key(name) {
+            panic!("telemetry metric `{name}` already registered as a histogram");
+        }
+        let mut counters = self.inner.counters.lock();
+        let core = counters
+            .entry(name)
+            .or_insert_with(|| Arc::new(CounterCore::new(name, unit, kind)));
+        assert!(
+            core.unit == unit && core.kind == kind,
+            "telemetry metric `{name}` re-registered as {:?}/{:?} (was {:?}/{:?})",
+            unit,
+            kind,
+            core.unit,
+            core.kind,
+        );
+        Arc::clone(core)
+    }
+
+    /// Registers (or retrieves) a log2-bucket latency histogram.
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different unit or as a
+    /// counter/gauge.
+    pub fn histogram(&self, name: &'static str, unit: Unit) -> Histogram {
+        if self.inner.counters.lock().contains_key(name) {
+            panic!("telemetry metric `{name}` already registered as a counter");
+        }
+        let mut hists = self.inner.histograms.lock();
+        let core = hists
+            .entry(name)
+            .or_insert_with(|| Arc::new(HistogramCore::new(name, unit)));
+        assert!(
+            core.unit == unit,
+            "telemetry histogram `{name}` re-registered as {:?} (was {:?})",
+            unit,
+            core.unit,
+        );
+        Histogram(Arc::clone(core))
+    }
+
+    /// A point-in-time copy of every metric in *this* registry.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.inner.snapshot()
+    }
+
+    /// Sorted names of every metric registered in this registry.
+    pub fn metric_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self
+            .inner
+            .counters
+            .lock()
+            .keys()
+            .chain(self.inner.histograms.lock().keys())
+            .copied()
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Everything recorded in this process so far: all live registries
+    /// plus the final state of every registry already dropped (e.g. the
+    /// pre-crash machine in a crash/reboot experiment).
+    ///
+    /// Intended for single-run bench binaries writing their
+    /// `telemetry.json` sidecar; concurrent unit tests should prefer
+    /// per-registry [`Telemetry::snapshot`], which is isolated.
+    pub fn process_snapshot() -> TelemetrySnapshot {
+        let mut g = global().lock();
+        g.live.retain(|w| w.strong_count() > 0);
+        let live: Vec<Arc<Inner>> = g.live.iter().filter_map(Weak::upgrade).collect();
+        let mut snap = g.retired.clone();
+        drop(g);
+        for inner in live {
+            snap.merge(&inner.snapshot());
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let t = Telemetry::new();
+        let a = t.counter("reg.a", Unit::Count);
+        let b = t.counter("reg.a", Unit::Count);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(t.metric_names(), vec!["reg.a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn unit_conflict_panics() {
+        let t = Telemetry::new();
+        let _ = t.counter("reg.conflict", Unit::Count);
+        let _ = t.counter("reg.conflict", Unit::Words);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn type_conflict_panics() {
+        let t = Telemetry::new();
+        let _ = t.counter("reg.typed", Unit::Count);
+        let _ = t.histogram("reg.typed", Unit::Nanoseconds);
+    }
+
+    #[test]
+    fn registries_are_isolated() {
+        let t1 = Telemetry::new();
+        let t2 = Telemetry::new();
+        t1.counter("reg.iso", Unit::Count).add(5);
+        t2.counter("reg.iso", Unit::Count).add(7);
+        assert_eq!(t1.snapshot().counter("reg.iso"), 5);
+        assert_eq!(t2.snapshot().counter("reg.iso"), 7);
+    }
+
+    #[test]
+    fn process_snapshot_survives_drop() {
+        // Other tests run concurrently in this process, so only assert
+        // on a name unique to this test.
+        let t = Telemetry::new();
+        t.counter("reg.dropped_then_counted", Unit::Count).add(3);
+        drop(t);
+        let t2 = Telemetry::new();
+        t2.counter("reg.dropped_then_counted", Unit::Count).add(4);
+        let snap = Telemetry::process_snapshot();
+        assert_eq!(snap.counter("reg.dropped_then_counted"), 7);
+    }
+
+    #[test]
+    fn max_gauge_process_merge_takes_max() {
+        let t1 = Telemetry::new();
+        t1.max_gauge("reg.peak_merge", Unit::Words).record(10);
+        drop(t1);
+        let t2 = Telemetry::new();
+        t2.max_gauge("reg.peak_merge", Unit::Words).record(6);
+        let snap = Telemetry::process_snapshot();
+        assert_eq!(snap.counter("reg.peak_merge"), 10);
+    }
+}

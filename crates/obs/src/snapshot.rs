@@ -1,0 +1,470 @@
+//! Point-in-time snapshots, diffs, and the text/JSON exporters.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::histogram::{bucket_upper_bound, HistogramCore, HISTOGRAM_BUCKETS};
+use crate::json::{self, escape, JsonError, JsonValue};
+use crate::metric::{CounterCore, Kind, Unit};
+
+/// Schema identifier written into (and required from) every JSON export.
+pub const SCHEMA: &str = "mnemosyne-telemetry-v1";
+
+/// A counter or gauge captured at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterValue {
+    /// The captured value.
+    pub value: u64,
+    /// What the value denominates.
+    pub unit: Unit,
+    /// How values combine across shards/devices (sum vs. max).
+    pub kind: Kind,
+}
+
+/// A histogram captured at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramValue {
+    /// What recorded values denominate.
+    pub unit: Unit,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Per-bucket observation counts ([`HISTOGRAM_BUCKETS`] entries;
+    /// bucket `i ≥ 1` covers `[2^(i-1), 2^i)`).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramValue {
+    /// Mean observation, or 0 with no observations.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// An upper bound on the `q`-quantile (`q` in 0..=100), derived from
+    /// the bucket the quantile observation landed in.
+    pub fn quantile_upper_bound(&self, q: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * q.min(100)).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// An immutable copy of every metric a registry held at one instant.
+///
+/// Snapshots support [`since`](TelemetrySnapshot::since) for phase
+/// deltas, [`merge`](TelemetrySnapshot::merge) for cross-device
+/// aggregation, and lossless JSON round-tripping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Counters and gauges by metric name.
+    pub counters: BTreeMap<String, CounterValue>,
+    /// Histograms by metric name.
+    pub histograms: BTreeMap<String, HistogramValue>,
+}
+
+impl TelemetrySnapshot {
+    pub(crate) fn collect(
+        counters: &BTreeMap<&'static str, Arc<CounterCore>>,
+        histograms: &BTreeMap<&'static str, Arc<HistogramCore>>,
+    ) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: counters
+                .iter()
+                .map(|(name, c)| {
+                    (
+                        name.to_string(),
+                        CounterValue {
+                            value: c.value(),
+                            unit: c.unit,
+                            kind: c.kind,
+                        },
+                    )
+                })
+                .collect(),
+            histograms: histograms
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.to_string(),
+                        HistogramValue {
+                            unit: h.unit,
+                            count: h.count(),
+                            sum: h.sum(),
+                            buckets: h.bucket_counts(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// The value of a counter/gauge, or 0 if it was never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |c| c.value)
+    }
+
+    /// The captured histogram, if one was registered under `name`.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramValue> {
+        self.histograms.get(name)
+    }
+
+    /// The delta accumulated between `earlier` and this snapshot.
+    ///
+    /// Sum counters and histograms subtract (saturating, so a metric
+    /// that only exists in `self` passes through unchanged); max gauges
+    /// keep the later value, since a high-water mark has no meaningful
+    /// difference.
+    pub fn since(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, c)| {
+                let base = earlier.counters.get(name).map_or(0, |e| e.value);
+                let value = match c.kind {
+                    Kind::Sum => c.value.saturating_sub(base),
+                    Kind::Max => c.value,
+                };
+                (name.clone(), CounterValue { value, ..*c })
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let mut out = h.clone();
+                if let Some(e) = earlier.histograms.get(name) {
+                    out.count = out.count.saturating_sub(e.count);
+                    out.sum = out.sum.saturating_sub(e.sum);
+                    for (b, eb) in out.buckets.iter_mut().zip(&e.buckets) {
+                        *b = b.saturating_sub(*eb);
+                    }
+                }
+                (name.clone(), out)
+            })
+            .collect();
+        TelemetrySnapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Folds `other` into `self`: sums add, max gauges take the max,
+    /// histogram buckets add element-wise.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (name, c) in &other.counters {
+            match self.counters.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(c.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let mine = e.get_mut();
+                    mine.value = match mine.kind {
+                        Kind::Sum => mine.value.saturating_add(c.value),
+                        Kind::Max => mine.value.max(c.value),
+                    };
+                }
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(h.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let mine = e.get_mut();
+                    mine.count = mine.count.saturating_add(h.count);
+                    mine.sum = mine.sum.saturating_add(h.sum);
+                    if mine.buckets.len() < h.buckets.len() {
+                        mine.buckets.resize(h.buckets.len(), 0);
+                    }
+                    for (b, ob) in mine.buckets.iter_mut().zip(&h.buckets) {
+                        *b = b.saturating_add(*ob);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A human-readable table, one metric per line, sorted by name.
+    pub fn to_text(&self) -> String {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.histograms.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (name, c) in &self.counters {
+            out.push_str(&format!(
+                "{name:<width$}  {:>12} {}\n",
+                c.value,
+                c.unit.as_str()
+            ));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{name:<width$}  count={} sum={}{} mean={}{} p99<={}{}\n",
+                h.count,
+                h.sum,
+                h.unit.as_str(),
+                h.mean(),
+                h.unit.as_str(),
+                h.quantile_upper_bound(99),
+                h.unit.as_str(),
+            ));
+        }
+        out
+    }
+
+    /// Serializes to the `mnemosyne-telemetry-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        self.to_json_with(&[])
+    }
+
+    /// Like [`to_json`](TelemetrySnapshot::to_json), with extra
+    /// top-level string fields (e.g. `experiment`, `scale`) that
+    /// [`from_json`](TelemetrySnapshot::from_json) ignores.
+    pub fn to_json_with(&self, tags: &[(&str, &str)]) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        for (k, v) in tags {
+            out.push_str(&format!("  \"{}\": \"{}\",\n", escape(k), escape(v)));
+        }
+        out.push_str("  \"counters\": {");
+        let mut first = true;
+        for (name, c) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"value\": {}, \"unit\": \"{}\", \"kind\": \"{}\"}}",
+                escape(name),
+                c.value,
+                c.unit.as_str(),
+                c.kind.as_str()
+            ));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            // Trailing empty buckets are elided; from_json pads back.
+            let last = h.buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+            let buckets: Vec<String> = h.buckets[..last].iter().map(u64::to_string).collect();
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"unit\": \"{}\", \"count\": {}, \"sum\": {}, \"buckets\": [{}]}}",
+                escape(name),
+                h.unit.as_str(),
+                h.count,
+                h.sum,
+                buckets.join(", ")
+            ));
+        }
+        out.push_str(if first { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a document written by
+    /// [`to_json`](TelemetrySnapshot::to_json) (or
+    /// [`to_json_with`](TelemetrySnapshot::to_json_with) — tag fields
+    /// and any other unknown top-level keys are ignored).
+    ///
+    /// # Errors
+    /// Rejects malformed JSON, a missing/foreign `schema` field, and
+    /// malformed metric entries.
+    pub fn from_json(input: &str) -> Result<TelemetrySnapshot, JsonError> {
+        fn bad(detail: &'static str) -> JsonError {
+            JsonError { at: 0, detail }
+        }
+        let doc = json::parse(input)?;
+        let obj = doc.as_obj().ok_or_else(|| bad("expected a JSON object"))?;
+        match obj.get("schema").and_then(JsonValue::as_str) {
+            Some(s) if s == SCHEMA => {}
+            _ => return Err(bad("missing or unsupported schema")),
+        }
+        let mut snap = TelemetrySnapshot::default();
+        if let Some(counters) = obj.get("counters") {
+            let counters = counters
+                .as_obj()
+                .ok_or_else(|| bad("counters must be an object"))?;
+            for (name, v) in counters {
+                let m = v.as_obj().ok_or_else(|| bad("counter must be an object"))?;
+                let value = m
+                    .get("value")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| bad("counter missing value"))?;
+                let unit = m
+                    .get("unit")
+                    .and_then(JsonValue::as_str)
+                    .and_then(Unit::parse)
+                    .unwrap_or(Unit::Count);
+                let kind = m
+                    .get("kind")
+                    .and_then(JsonValue::as_str)
+                    .and_then(Kind::parse)
+                    .unwrap_or(Kind::Sum);
+                snap.counters
+                    .insert(name.clone(), CounterValue { value, unit, kind });
+            }
+        }
+        if let Some(hists) = obj.get("histograms") {
+            let hists = hists
+                .as_obj()
+                .ok_or_else(|| bad("histograms must be an object"))?;
+            for (name, v) in hists {
+                let m = v
+                    .as_obj()
+                    .ok_or_else(|| bad("histogram must be an object"))?;
+                let count = m
+                    .get("count")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| bad("histogram missing count"))?;
+                let sum = m
+                    .get("sum")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| bad("histogram missing sum"))?;
+                let unit = m
+                    .get("unit")
+                    .and_then(JsonValue::as_str)
+                    .and_then(Unit::parse)
+                    .unwrap_or(Unit::Nanoseconds);
+                let mut buckets = Vec::with_capacity(HISTOGRAM_BUCKETS);
+                if let Some(arr) = m.get("buckets").and_then(JsonValue::as_arr) {
+                    for b in arr.iter().take(HISTOGRAM_BUCKETS) {
+                        buckets.push(b.as_u64().ok_or_else(|| bad("bucket must be a number"))?);
+                    }
+                }
+                buckets.resize(HISTOGRAM_BUCKETS, 0);
+                snap.histograms.insert(
+                    name.clone(),
+                    HistogramValue {
+                        unit,
+                        count,
+                        sum,
+                        buckets,
+                    },
+                );
+            }
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    fn sample() -> TelemetrySnapshot {
+        let t = Telemetry::new();
+        t.counter("snap.a", Unit::Count).add(3);
+        t.counter("snap.b_words", Unit::Words).add(100);
+        t.max_gauge("snap.peak", Unit::Words).record(42);
+        let h = t.histogram("snap.lat_ns", Unit::Nanoseconds);
+        h.record(0);
+        h.record(900);
+        h.record(1 << 30);
+        t.snapshot()
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let snap = sample();
+        let json = snap.to_json();
+        let back = TelemetrySnapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn tagged_json_roundtrips_and_ignores_tags() {
+        let snap = sample();
+        let json = snap.to_json_with(&[("experiment", "table6"), ("scale", "smoke")]);
+        assert!(json.contains("\"experiment\": \"table6\""));
+        let back = TelemetrySnapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_schema() {
+        assert!(TelemetrySnapshot::from_json("{\"schema\": \"other\"}").is_err());
+        assert!(TelemetrySnapshot::from_json("{}").is_err());
+        assert!(TelemetrySnapshot::from_json("[1]").is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let snap = TelemetrySnapshot::default();
+        let back = TelemetrySnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn since_subtracts_sums_and_keeps_max() {
+        let t = Telemetry::new();
+        let c = t.counter("diff.c", Unit::Count);
+        let g = t.max_gauge("diff.peak", Unit::Words);
+        let h = t.histogram("diff.h", Unit::Nanoseconds);
+        c.add(5);
+        g.record(10);
+        h.record(8);
+        let before = t.snapshot();
+        c.add(2);
+        g.record(7);
+        h.record(8);
+        h.record(16);
+        let delta = t.snapshot().since(&before);
+        assert_eq!(delta.counter("diff.c"), 2);
+        assert_eq!(delta.counter("diff.peak"), 10);
+        let dh = delta.histogram("diff.h").unwrap();
+        assert_eq!(dh.count, 2);
+        assert_eq!(dh.sum, 24);
+    }
+
+    #[test]
+    fn merge_adds_and_maxes() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.counter("snap.a"), 6);
+        assert_eq!(a.counter("snap.peak"), 42);
+        assert_eq!(a.histogram("snap.lat_ns").unwrap().count, 6);
+    }
+
+    #[test]
+    fn quantile_bounds_are_sane() {
+        let snap = sample();
+        let h = snap.histogram("snap.lat_ns").unwrap();
+        assert_eq!(h.count, 3);
+        // p99 lands in the top bucket used (2^30 observation).
+        assert!(h.quantile_upper_bound(99) >= (1 << 30));
+        // p0/p1 land in the zero bucket.
+        assert_eq!(h.quantile_upper_bound(1), 0);
+    }
+
+    #[test]
+    fn text_export_mentions_every_metric() {
+        let snap = sample();
+        let text = snap.to_text();
+        for name in ["snap.a", "snap.b_words", "snap.peak", "snap.lat_ns"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+}

@@ -5,6 +5,7 @@ use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 
+use mnemosyne_obs::{Counter, Telemetry, Unit};
 use mnemosyne_scm::{EmulationMode, FaultPlan, FaultSite};
 
 use crate::BLOCK_SIZE;
@@ -74,6 +75,29 @@ pub struct DiskStats {
     pub accounted_ns: AtomicU64,
 }
 
+/// `pcmdisk.*` registry counters mirroring [`DiskStats`]. A block device
+/// is its own machine, so it owns its own [`Telemetry`] registry rather
+/// than borrowing an SCM simulator's.
+struct DiskMetrics {
+    reads: Counter,
+    writes: Counter,
+    syncs: Counter,
+    synced_blocks: Counter,
+    accounted_ns: Counter,
+}
+
+impl DiskMetrics {
+    fn new(telemetry: &Telemetry) -> DiskMetrics {
+        DiskMetrics {
+            reads: telemetry.counter("pcmdisk.reads", Unit::Count),
+            writes: telemetry.counter("pcmdisk.writes", Unit::Count),
+            syncs: telemetry.counter("pcmdisk.syncs", Unit::Count),
+            synced_blocks: telemetry.counter("pcmdisk.synced_blocks", Unit::Count),
+            accounted_ns: telemetry.counter("pcmdisk.accounted_ns", Unit::Nanoseconds),
+        }
+    }
+}
+
 struct DiskState {
     media: Vec<u8>,
     /// Page cache: block index → pending contents.
@@ -87,6 +111,8 @@ pub struct PcmDisk {
     config: DiskConfig,
     state: Mutex<DiskState>,
     stats: DiskStats,
+    telemetry: Telemetry,
+    metrics: DiskMetrics,
     /// Optional crash-point schedule; each block forced to media reports a
     /// [`FaultSite::BlockWrite`] primitive.
     faults: RwLock<Option<FaultPlan>>,
@@ -103,6 +129,8 @@ impl std::fmt::Debug for PcmDisk {
 impl PcmDisk {
     /// Creates a zeroed device.
     pub fn new(config: DiskConfig) -> PcmDisk {
+        let telemetry = Telemetry::new();
+        let metrics = DiskMetrics::new(&telemetry);
         PcmDisk {
             state: Mutex::new(DiskState {
                 media: vec![0; (config.blocks * BLOCK_SIZE) as usize],
@@ -110,8 +138,15 @@ impl PcmDisk {
             }),
             config,
             stats: DiskStats::default(),
+            telemetry,
+            metrics,
             faults: RwLock::new(None),
         }
+    }
+
+    /// The device's telemetry registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Attaches a crash-point schedule: each block forced to PCM counts as
@@ -147,6 +182,7 @@ impl PcmDisk {
 
     fn delay(&self, ns: u64) {
         self.stats.accounted_ns.fetch_add(ns, Ordering::Relaxed);
+        self.metrics.accounted_ns.add(ns);
         if self.config.mode == EmulationMode::Spin {
             let start = Instant::now();
             while (start.elapsed().as_nanos() as u64) < ns {
@@ -163,6 +199,7 @@ impl PcmDisk {
         assert!(idx < self.config.blocks, "block {idx} out of range");
         assert_eq!(buf.len() as u64, BLOCK_SIZE);
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.metrics.reads.inc();
         let st = self.state.lock();
         if let Some(d) = st.dirty.get(&idx) {
             buf.copy_from_slice(d);
@@ -181,6 +218,7 @@ impl PcmDisk {
         assert!(idx < self.config.blocks, "block {idx} out of range");
         assert_eq!(data.len() as u64, BLOCK_SIZE);
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.metrics.writes.inc();
         self.state.lock().dirty.insert(idx, data.to_vec());
     }
 
@@ -190,6 +228,7 @@ impl PcmDisk {
     /// of blocks synced.
     pub fn sync(&self) -> u64 {
         self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+        self.metrics.syncs.inc();
         let dirty: Vec<(u64, Vec<u8>)> = {
             let mut st = self.state.lock();
             st.dirty.drain().collect()
@@ -211,6 +250,7 @@ impl PcmDisk {
             + (BLOCK_SIZE as f64 / self.config.bandwidth_bytes_per_ns) as u64;
         self.delay(self.config.sync_syscall_ns + n * per_block);
         self.stats.synced_blocks.fetch_add(n, Ordering::Relaxed);
+        self.metrics.synced_blocks.add(n);
         n
     }
 
@@ -218,6 +258,7 @@ impl PcmDisk {
     /// per-file `fsync` path). Returns blocks synced.
     pub fn sync_if(&self, pred: impl Fn(u64) -> bool) -> u64 {
         self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+        self.metrics.syncs.inc();
         let dirty: Vec<(u64, Vec<u8>)> = {
             let mut st = self.state.lock();
             let keys: Vec<u64> = st.dirty.keys().copied().filter(|&b| pred(b)).collect();
@@ -243,6 +284,7 @@ impl PcmDisk {
             + (BLOCK_SIZE as f64 / self.config.bandwidth_bytes_per_ns) as u64;
         self.delay(self.config.sync_syscall_ns + n * per_block);
         self.stats.synced_blocks.fetch_add(n, Ordering::Relaxed);
+        self.metrics.synced_blocks.add(n);
         n
     }
 

@@ -1,9 +1,13 @@
 //! The persistent heap front end: `pmalloc`/`pfree` with logged atomicity.
 
+use std::time::Instant;
+
 use parking_lot::Mutex;
 
+use mnemosyne_obs::{Counter, Histogram, Telemetry, Unit};
 use mnemosyne_rawl::{LogError, TornbitLog};
 use mnemosyne_region::{PMem, Regions, VAddr};
+use mnemosyne_scm::EmulationMode;
 
 use crate::error::HeapError;
 use crate::large::LargeAlloc;
@@ -69,11 +73,43 @@ pub struct HeapStats {
     pub replayed: u64,
 }
 
+/// `pheap.*` telemetry in the machine's registry, mirroring [`HeapStats`]
+/// plus the fallback path and the §6.3.2 scavenge cost that the plain
+/// struct does not expose.
+struct HeapMetrics {
+    allocs: Counter,
+    frees: Counter,
+    /// Allocations served from Hoard-style superblocks.
+    superblock_allocs: Counter,
+    large_allocs: Counter,
+    /// Small requests that fell back to the large allocator because the
+    /// superblock area was exhausted.
+    fallback_allocs: Counter,
+    replayed: Counter,
+    /// Time spent rebuilding volatile indexes at open (§6.3.2).
+    scavenge_ns: Histogram,
+}
+
+impl HeapMetrics {
+    fn new(telemetry: &Telemetry) -> HeapMetrics {
+        HeapMetrics {
+            allocs: telemetry.counter("pheap.allocs", Unit::Count),
+            frees: telemetry.counter("pheap.frees", Unit::Count),
+            superblock_allocs: telemetry.counter("pheap.superblock_allocs", Unit::Count),
+            large_allocs: telemetry.counter("pheap.large_allocs", Unit::Count),
+            fallback_allocs: telemetry.counter("pheap.fallback_allocs", Unit::Count),
+            replayed: telemetry.counter("pheap.replayed", Unit::Count),
+            scavenge_ns: telemetry.histogram("pheap.scavenge_ns", Unit::Nanoseconds),
+        }
+    }
+}
+
 struct HeapInner {
     log: TornbitLog,
     small: SmallAlloc,
     large: LargeAlloc,
     stats: HeapStats,
+    metrics: HeapMetrics,
 }
 
 /// The persistent heap. `Sync`: operations serialise on an internal lock,
@@ -128,6 +164,7 @@ impl PHeap {
         let mut small = SmallAlloc::new(small_area, small_len);
         let mut large = LargeAlloc::new(large_r.addr, large_r.len);
         let mut stats = HeapStats::default();
+        let metrics = HeapMetrics::new(regions.telemetry());
 
         let log = if fresh {
             let log = TornbitLog::create(pmem, log_r.addr, config.log_words)?;
@@ -160,10 +197,21 @@ impl PHeap {
                 Self::apply(log.pmem(), &pairs);
                 stats.replayed += 1;
             }
+            metrics.replayed.add(stats.replayed);
             let mut log = log;
             log.truncate_all();
+            // Attribute the index-rebuild cost in the emulator's time
+            // domain when the virtual clock is on, wall time otherwise.
+            let wall = Instant::now();
+            let accounted = log.pmem().accounted_ns();
             small.scavenge(log.pmem());
             large.scavenge(log.pmem())?;
+            let ns = if log.pmem().mode() == EmulationMode::Virtual {
+                log.pmem().accounted_ns().saturating_sub(accounted)
+            } else {
+                wall.elapsed().as_nanos() as u64
+            };
+            metrics.scavenge_ns.record(ns);
             log
         };
 
@@ -173,6 +221,7 @@ impl PHeap {
                 small,
                 large,
                 stats,
+                metrics,
             }),
             header,
         })
@@ -232,11 +281,13 @@ impl PHeap {
             match inner.small.alloc(class, &mut writes) {
                 Some(a) => {
                     inner.stats.small_allocs += 1;
+                    inner.metrics.superblock_allocs.inc();
                     a
                 }
                 // Small area exhausted: fall back to the large allocator.
                 None => {
                     writes.clear();
+                    inner.metrics.fallback_allocs.inc();
                     inner
                         .large
                         .alloc(size, inner.log.pmem(), &mut writes)
@@ -249,11 +300,13 @@ impl PHeap {
                 .alloc(size, inner.log.pmem(), &mut writes)
                 .ok_or(HeapError::OutOfMemory { requested: size })?;
             inner.stats.large_allocs += 1;
+            inner.metrics.large_allocs.inc();
             a
         };
         writes.push((cell, addr.0));
         Self::commit_op(inner, &writes)?;
         inner.stats.allocs += 1;
+        inner.metrics.allocs.inc();
         Ok(addr)
     }
 
@@ -285,6 +338,7 @@ impl PHeap {
         writes.push((cell, 0));
         Self::commit_op(inner, &writes)?;
         inner.stats.frees += 1;
+        inner.metrics.frees.inc();
         Ok(())
     }
 
@@ -307,6 +361,7 @@ impl PHeap {
         }
         Self::commit_op(inner, &writes)?;
         inner.stats.frees += 1;
+        inner.metrics.frees.inc();
         Ok(())
     }
 
@@ -325,10 +380,12 @@ impl PHeap {
             match inner.small.alloc(class, &mut writes) {
                 Some(a) => {
                     inner.stats.small_allocs += 1;
+                    inner.metrics.superblock_allocs.inc();
                     a
                 }
                 None => {
                     writes.clear();
+                    inner.metrics.fallback_allocs.inc();
                     inner
                         .large
                         .alloc(size, inner.log.pmem(), &mut writes)
@@ -341,10 +398,12 @@ impl PHeap {
                 .alloc(size, inner.log.pmem(), &mut writes)
                 .ok_or(HeapError::OutOfMemory { requested: size })?;
             inner.stats.large_allocs += 1;
+            inner.metrics.large_allocs.inc();
             a
         };
         Self::commit_op(inner, &writes)?;
         inner.stats.allocs += 1;
+        inner.metrics.allocs.inc();
         Ok(addr)
     }
 

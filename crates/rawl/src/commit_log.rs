@@ -14,6 +14,7 @@ use std::sync::Arc;
 use mnemosyne_region::{PMem, VAddr};
 
 use crate::error::LogError;
+use crate::metrics::LogMetrics;
 use crate::shared::{LogShared, COMMIT_MAGIC};
 use crate::tornbit::record_checksum;
 
@@ -37,6 +38,7 @@ pub struct CommitRecordLog {
     shared: Arc<LogShared>,
     pmem: PMem,
     records_appended: u64,
+    metrics: LogMetrics,
 }
 
 impl std::fmt::Debug for CommitRecordLog {
@@ -68,10 +70,12 @@ impl CommitRecordLog {
         }
         pmem.fence();
         LogShared::write_header(&pmem, base, COMMIT_MAGIC, capacity_words);
+        let metrics = LogMetrics::commit_record(pmem.telemetry());
         Ok(CommitRecordLog {
             shared: Arc::new(LogShared::new(base, capacity_words, 0)),
             pmem,
             records_appended: 0,
+            metrics,
         })
     }
 
@@ -86,7 +90,13 @@ impl CommitRecordLog {
     /// its checksum — the commit word proves the append finished, so an
     /// inconsistent payload can only be media corruption.
     pub fn recover(pmem: PMem, base: VAddr) -> Result<(CommitRecordLog, Vec<Vec<u64>>), LogError> {
-        let (capacity, head) = LogShared::read_header(&pmem, base, COMMIT_MAGIC)?;
+        let metrics = LogMetrics::commit_record(pmem.telemetry());
+        metrics.recoveries.inc();
+        let header = LogShared::read_header(&pmem, base, COMMIT_MAGIC);
+        if header.is_err() {
+            metrics.corruptions.inc();
+        }
+        let (capacity, head) = header?;
         let shared = LogShared::new(base, capacity, head);
         let mut records = Vec::new();
         let mut p = head;
@@ -109,6 +119,7 @@ impl CommitRecordLog {
                 payload.push(pmem.read_u64(shared.word_addr(p + 1 + i)));
             }
             if pmem.read_u64(shared.word_addr(cksum_pos)) != record_checksum(&payload) {
+                metrics.corruptions.inc();
                 return Err(LogError::Corrupt {
                     position: p,
                     detail: "committed record failed its checksum",
@@ -119,6 +130,7 @@ impl CommitRecordLog {
         }
         // Sanitise the word right after the last record so a stale length
         // word cannot chain into garbage on the next recovery.
+        metrics.recovered_records.add(records.len() as u64);
         let shared = Arc::new(LogShared::new(base, capacity, head));
         shared.tail.store(p, Ordering::Relaxed);
         shared.fenced.store(p, Ordering::Relaxed);
@@ -127,6 +139,7 @@ impl CommitRecordLog {
                 shared,
                 pmem,
                 records_appended: 0,
+                metrics,
             },
             records,
         ))
@@ -165,9 +178,20 @@ impl CommitRecordLog {
         self.pmem
             .wtstore_u64(self.shared.word_addr(commit_pos), commit_word(commit_pos));
         self.pmem.fence(); // fence #2: commit record stable
+        let old_tail = self.shared.tail.load(Ordering::Relaxed);
         self.shared.tail.store(p + m, Ordering::Relaxed);
         self.shared.fenced.store(p + m, Ordering::Release);
         self.records_appended += 1;
+        self.metrics.appends.inc();
+        self.metrics.append_words.add(payload.len() as u64);
+        // Both fences belong to this append; count them as one flush of
+        // the record plus the wrap/occupancy accounting the tornbit log
+        // also keeps.
+        self.metrics.flushes.add(2);
+        self.metrics
+            .wraps
+            .add((p + m) / self.shared.capacity - old_tail / self.shared.capacity);
+        self.metrics.occupancy_hwm.record(self.len_words());
         Ok(())
     }
 
@@ -175,6 +199,7 @@ impl CommitRecordLog {
     pub fn truncate_all(&mut self) {
         let tail = self.shared.tail.load(Ordering::Relaxed);
         self.shared.truncate_to(&self.pmem, tail);
+        self.metrics.truncations.inc();
     }
 
     /// Words currently live.

@@ -1,0 +1,64 @@
+//! `rawl.*` telemetry registered in the owning machine's registry.
+
+use mnemosyne_obs::{Counter, MaxGauge, Telemetry, Unit};
+
+/// Per-log handles into the machine-wide registry. Every tornbit log of
+/// one machine shares the same underlying counters (the registry is
+/// keyed by name), which is what the paper's tables want: totals per
+/// machine, not per log.
+pub(crate) struct LogMetrics {
+    /// Records appended (`log_append`).
+    pub(crate) appends: Counter,
+    /// Payload words appended (before torn-bit packing).
+    pub(crate) append_words: Counter,
+    /// `log_flush` calls (each is exactly one fence in the tornbit design).
+    pub(crate) flushes: Counter,
+    /// Durable truncations (synchronous or by the async truncator).
+    pub(crate) truncations: Counter,
+    /// Passes over the circular buffer (torn-bit sense reversals).
+    pub(crate) wraps: Counter,
+    /// High-water mark of live words in the buffer.
+    pub(crate) occupancy_hwm: MaxGauge,
+    /// Torn tails discarded by recovery (partial appends detected).
+    pub(crate) torn_tails: Counter,
+    /// Media corruptions detected (checksum/header failures).
+    pub(crate) corruptions: Counter,
+    /// Recovery scans performed.
+    pub(crate) recoveries: Counter,
+    /// Complete records returned by recovery scans.
+    pub(crate) recovered_records: Counter,
+}
+
+impl LogMetrics {
+    pub(crate) fn tornbit(telemetry: &Telemetry) -> LogMetrics {
+        LogMetrics {
+            appends: telemetry.counter("rawl.appends", Unit::Count),
+            append_words: telemetry.counter("rawl.append_words", Unit::Words),
+            flushes: telemetry.counter("rawl.flushes", Unit::Count),
+            truncations: telemetry.counter("rawl.truncations", Unit::Count),
+            wraps: telemetry.counter("rawl.wraps", Unit::Count),
+            occupancy_hwm: telemetry.max_gauge("rawl.occupancy_hwm_words", Unit::Words),
+            torn_tails: telemetry.counter("rawl.torn_tails", Unit::Count),
+            corruptions: telemetry.counter("rawl.corruptions", Unit::Count),
+            recoveries: telemetry.counter("rawl.recoveries", Unit::Count),
+            recovered_records: telemetry.counter("rawl.recovered_records", Unit::Count),
+        }
+    }
+
+    /// The commit-record baseline gets its own namespace so Table 6's
+    /// tornbit-vs-baseline comparison falls straight out of one snapshot.
+    pub(crate) fn commit_record(telemetry: &Telemetry) -> LogMetrics {
+        LogMetrics {
+            appends: telemetry.counter("rawl.cr.appends", Unit::Count),
+            append_words: telemetry.counter("rawl.cr.append_words", Unit::Words),
+            flushes: telemetry.counter("rawl.cr.flushes", Unit::Count),
+            truncations: telemetry.counter("rawl.cr.truncations", Unit::Count),
+            wraps: telemetry.counter("rawl.cr.wraps", Unit::Count),
+            occupancy_hwm: telemetry.max_gauge("rawl.cr.occupancy_hwm_words", Unit::Words),
+            torn_tails: telemetry.counter("rawl.cr.torn_tails", Unit::Count),
+            corruptions: telemetry.counter("rawl.cr.corruptions", Unit::Count),
+            recoveries: telemetry.counter("rawl.cr.recoveries", Unit::Count),
+            recovered_records: telemetry.counter("rawl.cr.recovered_records", Unit::Count),
+        }
+    }
+}

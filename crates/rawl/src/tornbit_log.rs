@@ -13,6 +13,7 @@ use std::sync::Arc;
 use mnemosyne_region::{PMem, VAddr};
 
 use crate::error::LogError;
+use crate::metrics::LogMetrics;
 use crate::shared::{LogShared, LOG_HEADER_BYTES, TORNBIT_MAGIC};
 use crate::tornbit::{
     packed_len, record_checksum, torn_bit_for_pass, BitPacker, BitUnpacker, PAYLOAD_MASK,
@@ -24,6 +25,7 @@ pub struct TornbitLog {
     shared: Arc<LogShared>,
     pmem: PMem,
     records_appended: u64,
+    metrics: LogMetrics,
 }
 
 impl std::fmt::Debug for TornbitLog {
@@ -145,10 +147,12 @@ impl TornbitLog {
         }
         pmem.fence();
         LogShared::write_header(&pmem, base, TORNBIT_MAGIC, capacity_words);
+        let metrics = LogMetrics::tornbit(pmem.telemetry());
         Ok(TornbitLog {
             shared: Arc::new(LogShared::new(base, capacity_words, 0)),
             pmem,
             records_appended: 0,
+            metrics,
         })
     }
 
@@ -172,7 +176,13 @@ impl TornbitLog {
     /// tail, so an internally inconsistent record is media corruption and
     /// must not be replayed.
     pub fn recover(pmem: PMem, base: VAddr) -> Result<(TornbitLog, Vec<Vec<u64>>), LogError> {
-        let (capacity, head) = LogShared::read_header(&pmem, base, TORNBIT_MAGIC)?;
+        let metrics = LogMetrics::tornbit(pmem.telemetry());
+        metrics.recoveries.inc();
+        let header = LogShared::read_header(&pmem, base, TORNBIT_MAGIC);
+        if header.is_err() {
+            metrics.corruptions.inc();
+        }
+        let (capacity, head) = header?;
         let shared = LogShared::new(base, capacity, head);
         let read_word = |pos: u64| pmem.read_u64(shared.word_addr(pos));
 
@@ -197,6 +207,7 @@ impl TornbitLog {
                 }
                 Decoded::Incomplete => break,
                 Decoded::Corrupt { position, detail } => {
+                    metrics.corruptions.inc();
                     return Err(LogError::Corrupt { position, detail });
                 }
             }
@@ -210,8 +221,10 @@ impl TornbitLog {
             pmem.wtstore_u64(shared.word_addr(pos), bad);
         }
         if p < valid_end {
+            metrics.torn_tails.inc();
             pmem.fence();
         }
+        metrics.recovered_records.add(records.len() as u64);
 
         let shared = Arc::new(LogShared::new(base, capacity, head));
         shared.tail.store(p, Ordering::Relaxed);
@@ -221,6 +234,7 @@ impl TornbitLog {
                 shared,
                 pmem,
                 records_appended: 0,
+                metrics,
             },
             records,
         ))
@@ -273,8 +287,15 @@ impl TornbitLog {
             packer.finish(&mut emit);
         }
         debug_assert_eq!(pos, self.shared.tail.load(Ordering::Relaxed) + m);
+        let old_tail = self.shared.tail.load(Ordering::Relaxed);
         self.shared.tail.store(pos, Ordering::Relaxed);
         self.records_appended += 1;
+        self.metrics.appends.inc();
+        self.metrics.append_words.add(payload.len() as u64);
+        // A pass boundary crossed by this append is a torn-bit sense
+        // reversal (a wrap of the circular buffer).
+        self.metrics.wraps.add(pos / cap - old_tail / cap);
+        self.metrics.occupancy_hwm.record(self.len_words());
         Ok(())
     }
 
@@ -285,6 +306,7 @@ impl TornbitLog {
         self.shared
             .fenced
             .store(self.shared.tail.load(Ordering::Relaxed), Ordering::Release);
+        self.metrics.flushes.inc();
     }
 
     /// Like [`TornbitLog::flush`], but does **not** publish the records to
@@ -296,6 +318,7 @@ impl TornbitLog {
     /// [`TornbitLog::publish`] once the dependent writes are issued.
     pub fn flush_unpublished(&mut self) {
         self.pmem.fence();
+        self.metrics.flushes.inc();
     }
 
     /// Publishes all fenced records to the asynchronous truncator; see
@@ -312,14 +335,17 @@ impl TornbitLog {
         self.flush();
         let tail = self.shared.tail.load(Ordering::Relaxed);
         self.shared.truncate_to(&self.pmem, tail);
+        self.metrics.truncations.inc();
     }
 
     /// Creates the single consumer handle for asynchronous truncation from
     /// another thread. `pmem` must be a handle for that thread.
     pub fn truncator(&self, pmem: PMem) -> LogTruncator {
+        let metrics = LogMetrics::tornbit(pmem.telemetry());
         LogTruncator {
             shared: Arc::clone(&self.shared),
             pmem,
+            metrics,
         }
     }
 
@@ -362,6 +388,7 @@ impl TornbitLog {
 pub struct LogTruncator {
     shared: Arc<LogShared>,
     pmem: PMem,
+    metrics: LogMetrics,
 }
 
 impl std::fmt::Debug for LogTruncator {
@@ -405,9 +432,11 @@ impl LogTruncator {
         }
         if n > 0 {
             self.shared.truncate_to(&self.pmem, p);
+            self.metrics.truncations.inc();
         }
         match corrupt {
             Some(e) => {
+                self.metrics.corruptions.inc();
                 self.shared.poisoned.store(true, Ordering::Release);
                 Err(e)
             }

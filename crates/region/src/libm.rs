@@ -10,6 +10,7 @@
 //! single-word update — so a crash at any point either yields a fully
 //! usable region or one that startup can garbage-collect.
 
+use mnemosyne_obs::{Counter, MaxGauge, Telemetry, Unit};
 use parking_lot::Mutex;
 
 use crate::aspace::AddressSpace;
@@ -64,6 +65,28 @@ pub struct Regions {
     static_len: u64,
     /// Volatile mirror of committed table entries.
     table: Mutex<Vec<Slot>>,
+    metrics: RegionsMetrics,
+}
+
+/// `libmnemosyne`-side region telemetry (registered under `region.*`).
+struct RegionsMetrics {
+    /// Successful `pmap` calls that created a new region (reopens of an
+    /// existing region are not counted).
+    pmaps: Counter,
+    /// Successful `punmap` calls.
+    punmaps: Counter,
+    /// High-water mark of pages committed across all dynamic regions.
+    mapped_pages: MaxGauge,
+}
+
+impl RegionsMetrics {
+    fn new(telemetry: &Telemetry) -> RegionsMetrics {
+        RegionsMetrics {
+            pmaps: telemetry.counter("region.pmaps", Unit::Count),
+            punmaps: telemetry.counter("region.punmaps", Unit::Count),
+            mapped_pages: telemetry.max_gauge("region.mapped_pages", Unit::Count),
+        }
+    }
 }
 
 impl std::fmt::Debug for Regions {
@@ -103,6 +126,7 @@ impl Regions {
             aspace: aspace.clone(),
             static_len,
             table: Mutex::new(Vec::new()),
+            metrics: RegionsMetrics::new(mgr.telemetry()),
         };
 
         if pmem.read_u64(base) != TABLE_MAGIC {
@@ -169,6 +193,11 @@ impl Regions {
     /// The address space all regions are mapped into.
     pub fn aspace(&self) -> &AddressSpace {
         &self.aspace
+    }
+
+    /// The machine's telemetry registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.aspace.manager().telemetry()
     }
 
     /// Creates a fresh [`PMem`] handle for another thread.
@@ -273,6 +302,9 @@ impl Regions {
             region: region.clone(),
             committed: true,
         });
+        self.metrics.pmaps.inc();
+        let pages: u64 = table.iter().map(|s| s.region.len / PAGE_SIZE).sum();
+        self.metrics.mapped_pages.record(pages);
         Ok(region)
     }
 
@@ -313,6 +345,7 @@ impl Regions {
             mgr.drop_file(fid)?;
         }
         Self::clear_slot(pmem, slot.index);
+        self.metrics.punmaps.inc();
         Ok(())
     }
 }

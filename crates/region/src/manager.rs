@@ -18,6 +18,7 @@ use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 
+use mnemosyne_obs::{Counter, Telemetry, Unit};
 use mnemosyne_scm::{DmaHandle, PAddr, ScmSim};
 
 use crate::aspace::AspaceInner;
@@ -48,6 +49,24 @@ struct ManagerInner {
     files: FileStore,
     state: Mutex<ManagerState>,
     aspaces: Mutex<Vec<Weak<AspaceInner>>>,
+    metrics: ManagerMetrics,
+}
+
+/// Kernel-side region telemetry (registered under `region.*`).
+struct ManagerMetrics {
+    /// Hard page faults: pages brought in from a backing file.
+    page_ins: Counter,
+    /// Resident pages written back and released under memory pressure.
+    evictions: Counter,
+}
+
+impl ManagerMetrics {
+    fn new(telemetry: &Telemetry) -> ManagerMetrics {
+        ManagerMetrics {
+            page_ins: telemetry.counter("region.page_ins", Unit::Count),
+            evictions: telemetry.counter("region.evictions", Unit::Count),
+        }
+    }
 }
 
 /// Shared handle to the region manager. Cloning is cheap.
@@ -140,6 +159,7 @@ impl RegionManager {
             }
         }
 
+        let metrics = ManagerMetrics::new(sim.telemetry());
         Ok(RegionManager {
             inner: Arc::new(ManagerInner {
                 sim: sim.clone(),
@@ -148,6 +168,7 @@ impl RegionManager {
                 files,
                 state: Mutex::new(state),
                 aspaces: Mutex::new(Vec::new()),
+                metrics,
             }),
         })
     }
@@ -155,6 +176,11 @@ impl RegionManager {
     /// The underlying simulated machine.
     pub fn sim(&self) -> &ScmSim {
         &self.inner.sim
+    }
+
+    /// The machine's telemetry registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.inner.sim.telemetry()
     }
 
     /// The backing-file store (region directory).
@@ -256,6 +282,7 @@ impl RegionManager {
             .ok_or_else(|| RegionError::NoSuchRegion(format!("file #{fid}")))?;
         let mut page = [0u8; PAGE_SIZE as usize];
         self.inner.files.read_page(&name, page_off, &mut page)?;
+        self.inner.metrics.page_ins.inc();
         let frame_addr = self.inner.layout.frame_addr(frame);
         self.inner.dma.write(frame_addr, &page);
         // Publish the mapping: <file, offset> first, so a torn update can
@@ -290,6 +317,7 @@ impl RegionManager {
             .dma
             .write(self.inner.layout.map_entry(frame), &0u64.to_le_bytes());
         st.resident.remove(&(fid, off));
+        self.inner.metrics.evictions.inc();
         // Shoot down any page-table entries referring to this page.
         let aspaces = self.inner.aspaces.lock();
         for w in aspaces.iter() {

@@ -9,6 +9,7 @@
 //! the methods panic with the analogue of a segmentation fault. Callers
 //! that want to probe use [`PMem::try_translate`].
 
+use mnemosyne_obs::Telemetry;
 use mnemosyne_scm::sim::HandleStopwatch;
 use mnemosyne_scm::{EmulationMode, MemHandle, PAddr};
 
@@ -182,6 +183,11 @@ impl PMem {
     /// The emulation mode in effect.
     pub fn mode(&self) -> EmulationMode {
         self.mem.mode()
+    }
+
+    /// The telemetry registry of the machine this handle addresses.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.mem.telemetry()
     }
 }
 

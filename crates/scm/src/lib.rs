@@ -55,5 +55,8 @@ pub use config::ScmConfig;
 pub use crash::CrashPolicy;
 pub use faults::{crash_payload, CrashRequested, FaultPlan, FaultSite};
 pub use sim::{DmaHandle, MemHandle, ScmSim};
-pub use stats::MemStats;
+pub use stats::{MemStats, StatsSnapshot};
 pub use tech::{TechPreset, TechSpec};
+
+pub use mnemosyne_obs as obs;
+pub use mnemosyne_obs::Telemetry;

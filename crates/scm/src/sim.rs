@@ -16,11 +16,13 @@ use crate::faults::{FaultPlan, FaultSite};
 use crate::media::Media;
 use crate::stats::{MemStats, StatsSnapshot};
 use crate::wc::WcBuffer;
+use mnemosyne_obs::Telemetry;
 
 struct SimInner {
     media: Media,
     cache: CacheModel,
     config: ScmConfig,
+    telemetry: Telemetry,
     stats: MemStats,
     /// Every live handle's write-combining buffer, so crash injection can
     /// reach in-flight streaming stores of all threads. Weak: a handle
@@ -107,12 +109,15 @@ impl ScmSim {
 
     fn with_media(media: Media, config: ScmConfig) -> Self {
         let cache = CacheModel::new(config.cache_capacity_lines);
+        let telemetry = Telemetry::new();
+        let stats = MemStats::new(&telemetry);
         ScmSim {
             inner: Arc::new(SimInner {
                 media,
                 cache,
                 config,
-                stats: MemStats::new(),
+                telemetry,
+                stats,
                 wc_registry: Mutex::new(Vec::new()),
                 faults: RwLock::new(None),
             }),
@@ -162,6 +167,14 @@ impl ScmSim {
         self.inner.stats.snapshot()
     }
 
+    /// The telemetry registry of this machine. Every layer booted over
+    /// the device (region manager, log, heap, transaction runtime)
+    /// registers its metrics here, so one registry describes one
+    /// simulated machine end to end.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
+    }
+
     /// Injects a crash: every in-flight word (dirty cache words and pending
     /// write-combining entries of *all* threads) is handed to `policy`,
     /// which decides the retired subset; the rest is lost. Afterwards the
@@ -181,7 +194,7 @@ impl ScmSim {
         for (addr, value) in policy.select(pending) {
             self.inner.media.write_word(addr, value);
         }
-        MemStats::bump(&self.inner.stats.crashes);
+        self.inner.stats.crashes.inc();
     }
 
     /// Captures the post-crash media image. Combined with
@@ -341,7 +354,7 @@ impl MemHandle {
         if !self.inner.fault_hook(FaultSite::Store) {
             return;
         }
-        MemStats::bump(&self.inner.stats.stores);
+        self.inner.stats.stores.inc();
         self.inner.cache.store_bytes(&self.inner.media, addr, data);
     }
 
@@ -362,7 +375,7 @@ impl MemHandle {
         if !self.inner.fault_hook(FaultSite::WtStore) {
             return;
         }
-        MemStats::bump(&self.inner.stats.wtstore_words);
+        self.inner.stats.wtstore_words.inc();
         self.wc.lock().push(&self.inner.media, addr, value);
     }
 
@@ -381,7 +394,7 @@ impl MemHandle {
             return;
         }
         let mut wc = self.wc.lock();
-        MemStats::add(&self.inner.stats.wtstore_words, (data.len() / 8) as u64);
+        self.inner.stats.wtstore_words.add((data.len() / 8) as u64);
         for (i, chunk) in data.chunks_exact(8).enumerate() {
             let mut b = [0u8; 8];
             b.copy_from_slice(chunk);
@@ -400,9 +413,9 @@ impl MemHandle {
         if !self.inner.fault_hook(FaultSite::Flush) {
             return;
         }
-        MemStats::bump(&self.inner.stats.flushes);
+        self.inner.stats.flushes.inc();
         if self.inner.cache.flush_line(&self.inner.media, addr) {
-            MemStats::bump(&self.inner.stats.dirty_flushes);
+            self.inner.stats.dirty_flushes.inc();
             self.engine.delay(self.inner.config.write_latency_ns);
         }
     }
@@ -427,7 +440,7 @@ impl MemHandle {
         if !self.inner.fault_hook(FaultSite::Fence) {
             return;
         }
-        MemStats::bump(&self.inner.stats.fences);
+        self.inner.stats.fences.inc();
         let bytes = self.wc.lock().drain(&self.inner.media);
         let bw_ns = (bytes as f64 / self.inner.config.write_bandwidth_bytes_per_ns) as u64;
         self.engine
@@ -438,7 +451,7 @@ impl MemHandle {
     /// coherent loads); does not snoop write-combining buffers, matching
     /// the weak ordering of streaming stores.
     pub fn read(&self, addr: PAddr, buf: &mut [u8]) {
-        MemStats::bump(&self.inner.stats.reads);
+        self.inner.stats.reads.inc();
         if self.inner.config.read_latency_ns > 0 {
             self.engine.delay(self.inner.config.read_latency_ns);
         }
@@ -490,6 +503,11 @@ impl MemHandle {
     /// Device-wide statistics snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.stats.snapshot()
+    }
+
+    /// The telemetry registry of the machine this handle belongs to.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
     }
 
     /// Device size in bytes.

@@ -1,70 +1,76 @@
 //! Device-wide operation counters.
+//!
+//! Backed by the cross-layer [`mnemosyne_obs`] registry: every counter
+//! here is registered under an `scm.*` name in the device's
+//! [`Telemetry`], so the same numbers that tests assert on (e.g. that
+//! the tornbit log really issues a single fence per append) also appear
+//! in the `telemetry.json` sidecar every bench binary emits.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use mnemosyne_obs::{Counter, Telemetry, Unit};
 
 /// Counters of memory-system events, shared by all handles of a device.
-///
-/// These are used both by tests (asserting, e.g., that the tornbit log
-/// really issues a single fence per append) and by the micro-cost
-/// experiments.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemStats {
     /// Cacheable stores issued (`store`).
-    pub stores: AtomicU64,
+    pub stores: Counter,
     /// Streaming words issued (`wtstore`).
-    pub wtstore_words: AtomicU64,
+    pub wtstore_words: Counter,
     /// Cache-line flushes issued (`flush`), whether or not the line was dirty.
-    pub flushes: AtomicU64,
+    pub flushes: Counter,
     /// Flushes that found a dirty line and paid PCM write latency.
-    pub dirty_flushes: AtomicU64,
+    pub dirty_flushes: Counter,
     /// Fences issued.
-    pub fences: AtomicU64,
+    pub fences: Counter,
     /// Reads issued.
-    pub reads: AtomicU64,
+    pub reads: Counter,
     /// Crashes injected.
-    pub crashes: AtomicU64,
+    pub crashes: Counter,
 }
 
 impl MemStats {
-    /// Creates zeroed counters.
-    pub fn new() -> Self {
-        Self::default()
+    /// Registers the `scm.*` counters in `telemetry`.
+    pub fn new(telemetry: &Telemetry) -> Self {
+        MemStats {
+            stores: telemetry.counter("scm.stores", Unit::Count),
+            wtstore_words: telemetry.counter("scm.wtstore_words", Unit::Words),
+            flushes: telemetry.counter("scm.flushes", Unit::Count),
+            dirty_flushes: telemetry.counter("scm.dirty_flushes", Unit::Count),
+            fences: telemetry.counter("scm.fences", Unit::Count),
+            reads: telemetry.counter("scm.reads", Unit::Count),
+            crashes: telemetry.counter("scm.crashes", Unit::Count),
+        }
     }
 
     /// Snapshot of all counters as plain integers.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            stores: self.stores.load(Ordering::Relaxed),
-            wtstore_words: self.wtstore_words.load(Ordering::Relaxed),
-            flushes: self.flushes.load(Ordering::Relaxed),
-            dirty_flushes: self.dirty_flushes.load(Ordering::Relaxed),
-            fences: self.fences.load(Ordering::Relaxed),
-            reads: self.reads.load(Ordering::Relaxed),
-            crashes: self.crashes.load(Ordering::Relaxed),
+            stores: self.stores.get(),
+            wtstore_words: self.wtstore_words.get(),
+            flushes: self.flushes.get(),
+            dirty_flushes: self.dirty_flushes.get(),
+            fences: self.fences.get(),
+            reads: self.reads.get(),
+            crashes: self.crashes.get(),
         }
-    }
-
-    #[inline]
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub(crate) fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
     }
 }
 
 /// Plain-integer snapshot of [`MemStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[allow(missing_docs)]
 pub struct StatsSnapshot {
+    /// Cacheable stores issued.
     pub stores: u64,
+    /// Streaming words issued.
     pub wtstore_words: u64,
+    /// Cache-line flushes issued (dirty or not).
     pub flushes: u64,
+    /// Flushes that found a dirty line.
     pub dirty_flushes: u64,
+    /// Fences issued.
     pub fences: u64,
+    /// Reads issued.
     pub reads: u64,
+    /// Crashes injected.
     pub crashes: u64,
 }
 
@@ -90,15 +96,19 @@ mod tests {
 
     #[test]
     fn snapshot_and_diff() {
-        let s = MemStats::new();
-        MemStats::bump(&s.fences);
-        MemStats::add(&s.wtstore_words, 5);
+        let t = Telemetry::new();
+        let s = MemStats::new(&t);
+        s.fences.inc();
+        s.wtstore_words.add(5);
         let a = s.snapshot();
-        MemStats::bump(&s.fences);
+        s.fences.inc();
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.fences, 1);
         assert_eq!(d.wtstore_words, 0);
         assert_eq!(b.wtstore_words, 5);
+        // The same numbers are visible through the registry.
+        assert_eq!(t.snapshot().counter("scm.fences"), 2);
+        assert_eq!(t.snapshot().counter("scm.wtstore_words"), 5);
     }
 }

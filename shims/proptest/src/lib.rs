@@ -30,7 +30,7 @@ pub mod collection {
         VecStrategy { element, range }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -84,6 +84,13 @@ fn async_mode_trees_survive_dropall_crash() {
         }
     }
     let m2 = m.crash_reboot(CrashPolicy::DropAll).unwrap();
+    // The reboot's registry records the recovery itself: the redo logs
+    // were scanned, and whatever the logs carried across was replayed —
+    // the same numbers MtmStats reports.
+    let snap = m2.telemetry().snapshot();
+    assert!(snap.counter("rawl.recoveries") >= 1);
+    assert_eq!(snap.counter("mtm.replayed"), m2.mtm().stats().replayed);
+    assert!(snap.counter("rawl.recovered_records") >= snap.counter("mtm.replayed"));
     let mut th = m2.register_thread().unwrap();
     let bpt = PBPlusTree::open(&m2, &mut th, "bpt").unwrap();
     let rbt = PRbTree::open(&m2, "rbt").unwrap();

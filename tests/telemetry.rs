@@ -1,0 +1,318 @@
+//! Cross-layer telemetry tests: the registry must agree with the layer
+//! stats it mirrors, survive a JSON round trip losslessly, expose the
+//! paper's headline properties (single-fence tornbit appends, Figure 7
+//! abort rates, §5 truncation stalls), and stay fully documented in
+//! METRICS.md.
+
+use std::path::PathBuf;
+
+use mnemosyne::{
+    CommitRecordLog, CrashPolicy, Mnemosyne, Telemetry, TelemetrySnapshot, TornbitLog, Truncation,
+};
+use pcmdisk::{DiskConfig, PcmDisk, BLOCK_SIZE};
+
+fn dir(tag: &str) -> PathBuf {
+    static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = N.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!("it-telem-{tag}-{}-{n}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// A stressed stack's snapshot survives export → parse → compare, and
+/// the cross-layer counting identities hold.
+#[test]
+fn snapshot_roundtrips_through_json_and_identities_hold() {
+    let d = dir("roundtrip");
+    let m = Mnemosyne::builder(&d).scm_size(32 << 20).open().unwrap();
+    let cell = m.pstatic("cell", 8).unwrap();
+    let mut th = m.register_thread().unwrap();
+    for i in 0..200u64 {
+        th.atomic(|tx| {
+            let v = tx.read_u64(cell)?;
+            tx.write_u64(cell, v + i)?;
+            Ok(())
+        })
+        .unwrap();
+    }
+    let heap = m.heap().clone();
+    let cells = m.pstatic("anchors", 8 * 8).unwrap();
+    for i in 0..8u64 {
+        heap.pmalloc(64, cells.add(i * 8)).unwrap();
+    }
+
+    let snap = m.telemetry().snapshot();
+
+    // Identities across layers.
+    assert!(
+        snap.counter("scm.dirty_flushes") <= snap.counter("scm.flushes"),
+        "dirty flushes are a subset of all flushes"
+    );
+    assert_eq!(
+        snap.counter("mtm.commits") + snap.counter("mtm.aborts"),
+        snap.counter("mtm.tx_begins"),
+        "every transaction attempt ends in exactly one commit or abort"
+    );
+    assert!(snap.counter("mtm.commits") >= 200);
+    assert_eq!(snap.counter("pheap.allocs"), 8);
+    assert!(snap.counter("rawl.appends") > 0);
+    assert!(snap.counter("scm.fences") > 0);
+
+    // Registry mirrors the layer-local stats structs.
+    let mtm = m.mtm().stats();
+    assert_eq!(snap.counter("mtm.commits"), mtm.commits);
+    assert_eq!(snap.counter("mtm.aborts"), mtm.aborts);
+    let heap_stats = heap.stats();
+    assert_eq!(snap.counter("pheap.allocs"), heap_stats.allocs);
+    let scm = m.sim().stats();
+    assert_eq!(snap.counter("scm.fences"), scm.fences);
+
+    // Lossless JSON round trip, tags included.
+    let json = snap.to_json_with(&[("experiment", "roundtrip-test"), ("scale", "quick")]);
+    assert!(json.contains("\"schema\": \"mnemosyne-telemetry-v1\""));
+    assert!(json.contains("\"experiment\": \"roundtrip-test\""));
+    let back = TelemetrySnapshot::from_json(&json).unwrap();
+    assert_eq!(back, snap, "JSON round trip must be lossless");
+
+    drop(th);
+    std::fs::remove_dir_all(&d).ok();
+}
+
+/// §4.4 / Table 6: a tornbit append is made durable by exactly ONE fence,
+/// asserted from the telemetry the fence-counting machinery records.
+#[test]
+fn tornbit_append_is_single_fence_per_telemetry() {
+    let d = dir("fence");
+    let m = Mnemosyne::builder(&d).scm_size(32 << 20).open().unwrap();
+    let r = m
+        .regions()
+        .pmap("fence-log", 64 * 1024, &m.pmem_handle())
+        .unwrap();
+    let mut log = TornbitLog::create(m.pmem_handle(), r.addr, 4096).unwrap();
+    // Warm up, then measure one append+flush cycle.
+    log.append(&[1, 2, 3]).unwrap();
+    log.flush();
+
+    let before = m.telemetry().snapshot();
+    log.append(&[4, 5, 6, 7]).unwrap();
+    log.flush();
+    let delta = m.telemetry().snapshot().since(&before);
+
+    assert_eq!(
+        delta.counter("scm.fences"),
+        1,
+        "tornbit append+flush must cost exactly one fence (§4.4)"
+    );
+    assert_eq!(delta.counter("rawl.flushes"), 1);
+    assert_eq!(delta.counter("rawl.appends"), 1);
+    assert_eq!(delta.counter("rawl.append_words"), 4);
+    std::fs::remove_dir_all(&d).ok();
+}
+
+/// Figure 7's y-axis — the transaction abort rate — is computable from
+/// telemetry alone and agrees with the runtime's own counters.
+#[test]
+fn fig7_abort_rate_computable_from_telemetry() {
+    let d = dir("aborts");
+    let m = std::sync::Arc::new(
+        Mnemosyne::builder(&d)
+            .scm_size(32 << 20)
+            .max_threads(8)
+            .open()
+            .unwrap(),
+    );
+    let cell = m.pstatic("contended", 8).unwrap();
+    let mut joins = Vec::new();
+    for _ in 0..4 {
+        let m = std::sync::Arc::clone(&m);
+        joins.push(std::thread::spawn(move || {
+            let mut th = m.register_thread().unwrap();
+            for _ in 0..300u64 {
+                th.atomic(|tx| {
+                    let v = tx.read_u64(cell)?;
+                    tx.write_u64(cell, v + 1)?;
+                    Ok(())
+                })
+                .unwrap();
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    let snap = m.telemetry().snapshot();
+    let stats = m.mtm().stats();
+    assert_eq!(snap.counter("mtm.aborts"), stats.aborts);
+    assert_eq!(snap.counter("mtm.commits"), stats.commits);
+    assert!(
+        snap.counter("mtm.aborts") >= 1,
+        "4 threads hammering one word must conflict at least once"
+    );
+    let attempts = snap.counter("mtm.tx_begins");
+    let abort_rate = snap.counter("mtm.aborts") as f64 / attempts as f64;
+    assert!(
+        abort_rate > 0.0 && abort_rate < 1.0,
+        "abort rate {abort_rate} out of range for a live workload"
+    );
+    std::fs::remove_dir_all(&d).ok();
+}
+
+/// §5: with asynchronous truncation and a log too small for two records,
+/// the committing thread must stall waiting for the log manager — and
+/// the stall is surfaced in both `MtmStats` and the registry.
+#[test]
+fn async_truncation_stalls_are_surfaced() {
+    let d = dir("stall");
+    let m = Mnemosyne::builder(&d)
+        .scm_size(32 << 20)
+        .truncation(Truncation::Async)
+        .log_words(128)
+        .open()
+        .unwrap();
+    let area = m.pstatic("wide", 8 * 40).unwrap();
+    let mut th = m.register_thread().unwrap();
+    // Each record packs 3 + 2*40 words -> ~85 log words: one fits in the
+    // 128-word log, two never do, so every commit after the first finds
+    // the previous record still undrained and stalls on the truncator.
+    for round in 0..20u64 {
+        th.atomic(|tx| {
+            for i in 0..40u64 {
+                tx.write_u64(area.add(i * 8), round * 100 + i)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+    drop(th);
+
+    let stats = m.mtm().stats();
+    let snap = m.telemetry().snapshot();
+    assert!(
+        stats.stalls >= 1,
+        "a 128-word async log must stall 85-word appends at least once"
+    );
+    assert_eq!(snap.counter("mtm.truncation_stalls"), stats.stalls);
+    let stall_hist = snap.histogram("mtm.stall_ns").expect("stall histogram");
+    assert_eq!(stall_hist.count, stats.stalls);
+    std::fs::remove_dir_all(&d).ok();
+}
+
+/// Recovery surfaces its work through the registry: replayed
+/// transactions and recovered log records are visible after reboot.
+#[test]
+fn recovery_metrics_surface_replayed_work() {
+    let d = dir("recover");
+    let m = Mnemosyne::builder(&d)
+        .scm_size(32 << 20)
+        .truncation(Truncation::Async)
+        .open()
+        .unwrap();
+    let cell = m.pstatic("v", 8).unwrap();
+    let mut th = m.register_thread().unwrap();
+    for i in 0..50u64 {
+        th.atomic(|tx| tx.write_u64(cell, i)).unwrap();
+    }
+    drop(th);
+    let m2 = m.crash_reboot(CrashPolicy::DropAll).unwrap();
+
+    // The reboot built a fresh machine, hence a fresh registry: it holds
+    // exactly the recovery's own activity.
+    let snap = m2.telemetry().snapshot();
+    assert_eq!(snap.counter("mtm.replayed"), m2.mtm().stats().replayed);
+    assert!(
+        snap.counter("rawl.recoveries") >= 1,
+        "reboot must have scanned the redo logs"
+    );
+    assert!(snap.counter("rawl.recovered_records") >= snap.counter("mtm.replayed"));
+    let mut th2 = m2.register_thread().unwrap();
+    assert_eq!(th2.atomic(|tx| tx.read_u64(cell)).unwrap(), 49);
+    std::fs::remove_dir_all(&d).ok();
+}
+
+/// The process-wide snapshot keeps counting across a crash/reboot cycle
+/// even though the reboot replaces the machine and its registry.
+#[test]
+fn process_snapshot_survives_reboot() {
+    let d = dir("process");
+    let m = Mnemosyne::builder(&d).scm_size(32 << 20).open().unwrap();
+    let cell = m.pstatic("n", 8).unwrap();
+    let before = Telemetry::process_snapshot();
+    let mut th = m.register_thread().unwrap();
+    for _ in 0..30u64 {
+        th.atomic(|tx| {
+            let v = tx.read_u64(cell)?;
+            tx.write_u64(cell, v + 1)?;
+            Ok(())
+        })
+        .unwrap();
+    }
+    drop(th);
+    let m2 = m.crash_reboot(CrashPolicy::DropAll).unwrap();
+    let mut th2 = m2.register_thread().unwrap();
+    for _ in 0..30u64 {
+        th2.atomic(|tx| {
+            let v = tx.read_u64(cell)?;
+            tx.write_u64(cell, v + 1)?;
+            Ok(())
+        })
+        .unwrap();
+    }
+    drop(th2);
+    let delta = Telemetry::process_snapshot().since(&before);
+    assert!(
+        delta.counter("mtm.commits") >= 60,
+        "process snapshot lost the pre-reboot machine's commits: {}",
+        delta.counter("mtm.commits")
+    );
+    std::fs::remove_dir_all(&d).ok();
+}
+
+/// Every metric any layer registers is documented in METRICS.md — the
+/// reference table cannot silently rot.
+#[test]
+fn metrics_md_documents_every_registered_metric() {
+    let d = dir("docs");
+    // Boot the full stack (registers scm.*, region.*, rawl.*, pheap.*,
+    // mtm.*), then touch the remaining corners: the commit-record
+    // baseline log (rawl.cr.*) and the PCM block device (pcmdisk.*).
+    let m = Mnemosyne::builder(&d).scm_size(32 << 20).open().unwrap();
+    let mut th = m.register_thread().unwrap();
+    th.atomic(|tx| {
+        let a = tx.pmalloc(64)?;
+        tx.write_u64(a, 1)?;
+        Ok(())
+    })
+    .unwrap();
+    drop(th);
+    let r = m
+        .regions()
+        .pmap("cr-log", 64 * 1024, &m.pmem_handle())
+        .unwrap();
+    let _cr = CommitRecordLog::create(m.pmem_handle(), r.addr, 1024).unwrap();
+    let disk = PcmDisk::new(DiskConfig::for_testing(8));
+    disk.write_block(0, &[0u8; BLOCK_SIZE as usize]);
+    disk.sync();
+
+    let metrics_md =
+        std::fs::read_to_string(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../METRICS.md"))
+            .expect("METRICS.md must exist at the repo root");
+
+    let mut names: Vec<&'static str> = m.telemetry().metric_names();
+    names.extend(disk.telemetry().metric_names());
+    assert!(
+        names.len() >= 40,
+        "expected the full stack's metrics, got {}",
+        names.len()
+    );
+    let undocumented: Vec<&str> = names
+        .iter()
+        .copied()
+        .filter(|n| !metrics_md.contains(&format!("`{n}`")))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "metrics missing from METRICS.md: {undocumented:?}"
+    );
+    std::fs::remove_dir_all(&d).ok();
+}
