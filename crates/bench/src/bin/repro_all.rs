@@ -25,4 +25,9 @@ fn main() {
         scale,
         mnemosyne_bench::exp::reliability::run,
     );
+    mnemosyne_bench::util::run_experiment(
+        "allocscale",
+        scale,
+        mnemosyne_bench::exp::allocscale::run,
+    );
 }

@@ -1,5 +1,6 @@
 //! One module per reproduced table/figure (see DESIGN.md §4).
 
+pub mod allocscale;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

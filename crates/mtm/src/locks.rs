@@ -11,9 +11,16 @@
 //! The table is volatile: it is rebuilt empty at program start, which is
 //! correct because recovery replays committed transactions before any new
 //! transaction runs.
+//!
+//! Slots are cache-line padded ([`PaddedAtomicU64`]): the commit hot path
+//! CASes a handful of slots per transaction, and with bare `AtomicU64`s
+//! eight neighbouring (unrelated) locks would false-share one line, so
+//! independent commits on different words still bounced a line between
+//! cores.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
+use mnemosyne_obs::PaddedAtomicU64;
 use mnemosyne_region::VAddr;
 
 /// Outcome of probing a lock word.
@@ -28,7 +35,7 @@ pub enum LockState {
 /// The global versioned-lock table.
 #[derive(Debug)]
 pub struct LockTable {
-    slots: Vec<AtomicU64>,
+    slots: Vec<PaddedAtomicU64>,
     mask: u64,
 }
 
@@ -37,7 +44,7 @@ impl LockTable {
     pub fn new(size: usize) -> Self {
         let n = size.next_power_of_two().max(64);
         let mut slots = Vec::with_capacity(n);
-        slots.resize_with(n, || AtomicU64::new(0));
+        slots.resize_with(n, PaddedAtomicU64::default);
         LockTable {
             slots,
             mask: n as u64 - 1,

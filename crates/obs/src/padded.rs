@@ -1,0 +1,71 @@
+//! Cache-line-padded atomics for contended hot-path counters.
+//!
+//! Adjacent `AtomicU64`s in a `Vec` or struct share 64-byte cache lines,
+//! so independent counters bounced between cores false-share: every bump
+//! invalidates its neighbours' lines. [`PaddedAtomicU64`] gives each
+//! atomic its own line. Used by the mtm versioned-lock table and global
+//! clock (commit hot path) and by the persistent heap's shard counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An `AtomicU64` alone on its cache line.
+///
+/// Derefs to [`AtomicU64`], so the full atomic API is available:
+///
+/// ```
+/// use mnemosyne_obs::PaddedAtomicU64;
+/// use std::sync::atomic::Ordering;
+///
+/// let c = PaddedAtomicU64::new(41);
+/// c.fetch_add(1, Ordering::Relaxed);
+/// assert_eq!(c.load(Ordering::Relaxed), 42);
+/// ```
+#[repr(align(64))]
+#[derive(Default)]
+pub struct PaddedAtomicU64(AtomicU64);
+
+impl PaddedAtomicU64 {
+    /// Creates a padded atomic holding `v`.
+    pub const fn new(v: u64) -> PaddedAtomicU64 {
+        PaddedAtomicU64(AtomicU64::new(v))
+    }
+}
+
+impl std::ops::Deref for PaddedAtomicU64 {
+    type Target = AtomicU64;
+
+    fn deref(&self) -> &AtomicU64 {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for PaddedAtomicU64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PaddedAtomicU64({})", self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupies_a_full_cache_line() {
+        assert_eq!(std::mem::size_of::<PaddedAtomicU64>(), 64);
+        assert_eq!(std::mem::align_of::<PaddedAtomicU64>(), 64);
+        // A vector of them puts each element on its own line.
+        let v: Vec<PaddedAtomicU64> = (0..4).map(PaddedAtomicU64::new).collect();
+        let base = &v[0] as *const _ as usize;
+        for (i, slot) in v.iter().enumerate() {
+            assert_eq!(slot as *const _ as usize - base, i * 64);
+        }
+    }
+
+    #[test]
+    fn behaves_like_an_atomic() {
+        let c = PaddedAtomicU64::new(0);
+        c.store(7, Ordering::Relaxed);
+        assert_eq!(c.fetch_add(3, Ordering::Relaxed), 7);
+        assert_eq!(c.load(Ordering::Relaxed), 10);
+    }
+}

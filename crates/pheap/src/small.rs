@@ -4,13 +4,28 @@
 //! once assigned to a size class, holds `8192 / block_size` equal blocks.
 //! Persistent state per superblock is just its block size and a bitmap
 //! vector of allocated blocks, kept in a *metadata area separated from the
-//! data* to reduce corruption risk. Everything else (per-class lists,
-//! free counts, bitmap mirrors) is volatile and rebuilt by
-//! [`SmallAlloc::scavenge`] when the program starts.
+//! data* to reduce corruption risk. Everything else — per-class lists,
+//! free counts, bitmap mirrors, and crucially *which shard owns which
+//! superblock* — is volatile and rebuilt by scavenging at startup, exactly
+//! like the paper's rebuilt speed indexes.
+//!
+//! Hoard's central idea is per-thread superblock ownership. The sharded
+//! heap realises it with two types:
+//!
+//! * [`SmallLayout`] — the immutable geometry of the small area (where
+//!   metadata and superblocks live), shared by every shard and by the
+//!   parallel scavenger ([`SmallLayout::scan_range`]);
+//! * [`ShardSmall`] — one shard's volatile view of the superblocks it
+//!   currently owns. A shard allocates only from its own superblocks,
+//!   adopts fresh ones from the global pool when a class runs dry, and
+//!   releases fully empty ones back to the pool.
 //!
 //! Mutations are returned as `(address, value)` word-write lists; the heap
-//! front end logs them (together with the caller's pointer-cell write) and
-//! applies them durably, making each operation atomic.
+//! front end logs them (together with the caller's pointer-cell write) to
+//! the shard's allocator log and applies them durably, making each
+//! operation atomic.
+
+use std::collections::HashMap;
 
 use mnemosyne_region::{PMem, VAddr};
 
@@ -22,7 +37,7 @@ use crate::SUPERBLOCK_BYTES;
 pub const NCLASSES: usize = 10;
 
 /// Bitmap words per superblock (8192 blocks of 8 B ⇒ 1024 bits ⇒ 16 words).
-const BITMAP_WORDS: usize = 16;
+pub const BITMAP_WORDS: usize = 16;
 
 /// Stride of one metadata entry: block-size word + bitmap vector, rounded
 /// up to a multiple of the cache line so entries never share lines.
@@ -46,29 +61,32 @@ pub fn class_size(class: usize) -> u64 {
 /// One pending durable word write.
 pub type WordWrite = (VAddr, u64);
 
-/// Volatile view of the small-object area.
-#[derive(Debug)]
-pub struct SmallAlloc {
+/// Immutable geometry of the small-object area: metadata entries first
+/// (page aligned), superblocks after. Shared by all shards.
+#[derive(Debug, Clone, Copy)]
+pub struct SmallLayout {
     meta_base: VAddr,
     sbs_base: VAddr,
     n_superblocks: u32,
-    /// Class + 1 per superblock; 0 = unassigned.
-    sb_class: Vec<u8>,
-    /// Free blocks per superblock.
-    free_count: Vec<u32>,
-    /// Volatile mirror of the persistent bitmaps.
-    bitmaps: Vec<[u64; BITMAP_WORDS]>,
-    /// Superblocks with free space, per class.
-    class_lists: Vec<Vec<u32>>,
-    /// Unassigned superblocks.
-    unassigned: Vec<u32>,
 }
 
-impl SmallAlloc {
-    /// Lays out the small area over `[base, base+len)`: metadata first,
-    /// superblocks after (page aligned).
-    pub fn new(base: VAddr, len: u64) -> SmallAlloc {
-        // n metadata entries + n superblocks must fit.
+/// Scavenged persistent state of one assigned superblock, as read back by
+/// [`SmallLayout::scan_range`].
+#[derive(Debug, Clone)]
+pub struct SbMeta {
+    /// Size class the superblock is assigned to.
+    pub class: usize,
+    /// Blocks still free.
+    pub free_count: u32,
+    /// Allocation bitmap (invalid tail bits already masked off).
+    pub bitmap: [u64; BITMAP_WORDS],
+}
+
+impl SmallLayout {
+    /// Lays out the small area over `[base, base+len)`: `n` metadata
+    /// entries + `n` superblocks must fit, with the superblock array page
+    /// aligned.
+    pub fn new(base: VAddr, len: u64) -> SmallLayout {
         let mut n = len / (SUPERBLOCK_BYTES + META_STRIDE);
         loop {
             let meta_bytes = (n * META_STRIDE).div_ceil(4096) * 4096;
@@ -78,15 +96,10 @@ impl SmallAlloc {
             n -= 1;
         }
         let meta_bytes = (n * META_STRIDE).div_ceil(4096) * 4096;
-        SmallAlloc {
+        SmallLayout {
             meta_base: base,
             sbs_base: base.add(meta_bytes),
             n_superblocks: n as u32,
-            sb_class: vec![0; n as usize],
-            free_count: vec![0; n as usize],
-            bitmaps: vec![[0; BITMAP_WORDS]; n as usize],
-            class_lists: vec![Vec::new(); NCLASSES],
-            unassigned: (0..n as u32).rev().collect(),
         }
     }
 
@@ -95,7 +108,8 @@ impl SmallAlloc {
         self.n_superblocks
     }
 
-    fn meta_addr(&self, sb: u32) -> VAddr {
+    /// Address of superblock `sb`'s metadata entry (block-size word).
+    pub fn meta_addr(&self, sb: u32) -> VAddr {
         self.meta_base.add(sb as u64 * META_STRIDE)
     }
 
@@ -103,7 +117,8 @@ impl SmallAlloc {
         self.meta_addr(sb).add(8 + widx as u64 * 8)
     }
 
-    fn sb_addr(&self, sb: u32) -> VAddr {
+    /// Data address of superblock `sb`.
+    pub fn sb_addr(&self, sb: u32) -> VAddr {
         self.sbs_base.add(sb as u64 * SUPERBLOCK_BYTES)
     }
 
@@ -116,31 +131,33 @@ impl SmallAlloc {
                     .add(self.n_superblocks as u64 * SUPERBLOCK_BYTES)
     }
 
-    /// Rebuilds the volatile indexes from the persistent metadata — the
-    /// startup scavenge of §4.3 whose cost §6.3.2 measures.
-    pub fn scavenge(&mut self, pmem: &PMem) {
-        for list in &mut self.class_lists {
-            list.clear();
-        }
-        self.unassigned.clear();
-        for sb in (0..self.n_superblocks).rev() {
+    /// Superblock index covering `addr` (which must satisfy
+    /// [`SmallLayout::contains`]).
+    pub fn sb_of(&self, addr: VAddr) -> u32 {
+        (addr.offset_from(self.sbs_base) / SUPERBLOCK_BYTES) as u32
+    }
+
+    /// Reads back the persistent metadata of superblocks `[from, to)` —
+    /// one slice of the startup scavenge of §4.3, whose cost §6.3.2
+    /// measures. Recovery runs several slices concurrently, one [`PMem`]
+    /// handle each.
+    ///
+    /// Returns `(assigned, empty)`: superblocks carrying live state, and
+    /// fully unassigned ones (candidates for the global pool). A
+    /// superblock whose block-size word is implausible appears in
+    /// *neither* list — it is quarantined so nothing allocates from it.
+    pub fn scan_range(&self, pmem: &PMem, from: u32, to: u32) -> (Vec<(u32, SbMeta)>, Vec<u32>) {
+        let mut assigned = Vec::new();
+        let mut empty = Vec::new();
+        for sb in from..to.min(self.n_superblocks) {
             let bs = pmem.read_u64(self.meta_addr(sb));
             if bs == 0 {
-                self.sb_class[sb as usize] = 0;
-                self.free_count[sb as usize] = 0;
-                self.bitmaps[sb as usize] = [0; BITMAP_WORDS];
-                self.unassigned.push(sb);
+                empty.push(sb);
                 continue;
             }
             let class = match class_of(bs) {
                 Some(c) if class_size(c) == bs => c,
-                _ => {
-                    // Unknown block size: treat as unassigned-but-skip to
-                    // stay safe (do not allocate from it).
-                    self.sb_class[sb as usize] = 0;
-                    self.free_count[sb as usize] = 0;
-                    continue;
-                }
+                _ => continue, // quarantine: unknown block size
             };
             let blocks = (SUPERBLOCK_BYTES / bs) as u32;
             let mut bm = [0u64; BITMAP_WORDS];
@@ -160,48 +177,110 @@ impl SmallAlloc {
                 *slot = pmem.read_u64(self.bitmap_word_addr(sb, w)) & mask;
                 used += slot.count_ones();
             }
-            self.sb_class[sb as usize] = class as u8 + 1;
-            self.bitmaps[sb as usize] = bm;
-            self.free_count[sb as usize] = blocks - used;
-            if blocks > used {
-                self.class_lists[class].push(sb);
-            }
+            assigned.push((
+                sb,
+                SbMeta {
+                    class,
+                    free_count: blocks - used,
+                    bitmap: bm,
+                },
+            ));
+        }
+        (assigned, empty)
+    }
+}
+
+/// Volatile per-superblock state inside the owning shard.
+#[derive(Debug)]
+struct SbState {
+    class: u8,
+    free_count: u32,
+    bitmap: [u64; BITMAP_WORDS],
+}
+
+/// One shard's volatile view of the superblocks it owns.
+#[derive(Debug)]
+pub struct ShardSmall {
+    layout: SmallLayout,
+    owned: HashMap<u32, SbState>,
+    /// Owned superblocks with free space, per class.
+    class_lists: Vec<Vec<u32>>,
+}
+
+impl ShardSmall {
+    /// An empty shard view over `layout` (owns nothing yet).
+    pub fn new(layout: SmallLayout) -> ShardSmall {
+        ShardSmall {
+            layout,
+            owned: HashMap::new(),
+            class_lists: vec![Vec::new(); NCLASSES],
         }
     }
 
-    /// Allocates one block of size class `class`. Returns the block
-    /// address and the durable writes that commit the allocation (the
-    /// superblock's block-size word if freshly assigned, plus the bitmap
-    /// word). Volatile state is updated immediately.
+    /// Adopts a scavenged superblock with live state (recovery path).
+    pub fn adopt_scavenged(&mut self, sb: u32, meta: &SbMeta) {
+        if meta.free_count > 0 {
+            self.class_lists[meta.class].push(sb);
+        }
+        self.owned.insert(
+            sb,
+            SbState {
+                class: meta.class as u8,
+                free_count: meta.free_count,
+                bitmap: meta.bitmap,
+            },
+        );
+    }
+
+    /// Allocates one block of size class `class` from an *owned*
+    /// superblock, appending the durable bitmap write. Returns `None` when
+    /// every owned superblock of the class is full — the caller then
+    /// steals a fresh superblock from the global pool
+    /// ([`ShardSmall::adopt_fresh_and_alloc`]) or falls back to the large
+    /// allocator.
     pub fn alloc(&mut self, class: usize, writes: &mut Vec<WordWrite>) -> Option<VAddr> {
+        // Find an owned superblock with space, dropping exhausted ones
+        // lazily.
+        let sb = loop {
+            let sb = self.class_lists[class].last().copied()?;
+            if self.owned.get(&sb).is_some_and(|s| s.free_count > 0) {
+                break sb;
+            }
+            self.class_lists[class].pop();
+        };
+        self.alloc_in(sb, class, writes)
+    }
+
+    /// Adopts a fresh (fully empty) superblock from the global pool,
+    /// assigns it to `class` (durable block-size write) and allocates the
+    /// first block from it.
+    pub fn adopt_fresh_and_alloc(
+        &mut self,
+        sb: u32,
+        class: usize,
+        writes: &mut Vec<WordWrite>,
+    ) -> VAddr {
+        let bs = class_size(class);
+        self.owned.insert(
+            sb,
+            SbState {
+                class: class as u8,
+                free_count: (SUPERBLOCK_BYTES / bs) as u32,
+                bitmap: [0; BITMAP_WORDS],
+            },
+        );
+        self.class_lists[class].push(sb);
+        writes.push((self.layout.meta_addr(sb), bs));
+        self.alloc_in(sb, class, writes)
+            .expect("fresh superblock must have a free block")
+    }
+
+    fn alloc_in(&mut self, sb: u32, class: usize, writes: &mut Vec<WordWrite>) -> Option<VAddr> {
         let bs = class_size(class);
         let blocks = (SUPERBLOCK_BYTES / bs) as u32;
-        // Find a superblock with space, dropping exhausted ones lazily.
-        let sb = loop {
-            match self.class_lists[class].last().copied() {
-                Some(sb) if self.free_count[sb as usize] > 0 => break Some(sb),
-                Some(_) => {
-                    self.class_lists[class].pop();
-                }
-                None => break None,
-            }
-        };
-        let sb = match sb {
-            Some(sb) => sb,
-            None => {
-                // Assign a fresh superblock to this class.
-                let sb = self.unassigned.pop()?;
-                self.sb_class[sb as usize] = class as u8 + 1;
-                self.free_count[sb as usize] = blocks;
-                self.bitmaps[sb as usize] = [0; BITMAP_WORDS];
-                self.class_lists[class].push(sb);
-                writes.push((self.meta_addr(sb), bs));
-                sb
-            }
-        };
-        // Find a clear bit.
+        let state = self.owned.get_mut(&sb)?;
         for widx in 0..BITMAP_WORDS.min(blocks.div_ceil(64) as usize) {
-            let word = self.bitmaps[sb as usize][widx];
+            let word = state.bitmap[widx];
             if word == u64::MAX {
                 continue;
             }
@@ -211,88 +290,104 @@ impl SmallAlloc {
                 break;
             }
             let new_word = word | (1 << bit);
-            self.bitmaps[sb as usize][widx] = new_word;
-            self.free_count[sb as usize] -= 1;
-            writes.push((self.bitmap_word_addr(sb, widx), new_word));
-            return Some(self.sb_addr(sb).add(idx as u64 * bs));
+            state.bitmap[widx] = new_word;
+            state.free_count -= 1;
+            writes.push((self.layout.bitmap_word_addr(sb, widx), new_word));
+            return Some(self.layout.sb_addr(sb).add(idx as u64 * bs));
         }
         // Inconsistent free count; repair and fail this superblock.
-        self.free_count[sb as usize] = 0;
+        state.free_count = 0;
         None
     }
 
-    /// Frees the block at `addr`, returning the durable writes (bitmap
-    /// word, plus the block-size word reset to 0 if the superblock becomes
-    /// empty and is returned to the unassigned pool).
+    /// Frees the block at `addr` (which must belong to a superblock this
+    /// shard owns — the heap routes by the owner table), appending the
+    /// durable bitmap write. Returns `Some(sb)` if the superblock became
+    /// fully empty and was relinquished: its block-size word is reset to 0
+    /// in `writes` and the caller must return it to the global pool.
     ///
     /// # Errors
-    /// [`HeapError::BadPointer`] for misaligned, unallocated, or foreign
-    /// addresses.
-    pub fn free(&mut self, addr: VAddr, writes: &mut Vec<WordWrite>) -> Result<(), HeapError> {
-        if !self.contains(addr) {
+    /// [`HeapError::BadPointer`] for misaligned, unallocated, or
+    /// not-owned-here addresses.
+    pub fn free(
+        &mut self,
+        addr: VAddr,
+        writes: &mut Vec<WordWrite>,
+    ) -> Result<Option<u32>, HeapError> {
+        if !self.layout.contains(addr) {
             return Err(HeapError::BadPointer(addr));
         }
-        let sb = (addr.offset_from(self.sbs_base) / SUPERBLOCK_BYTES) as u32;
-        let class = match self.sb_class[sb as usize] {
-            0 => return Err(HeapError::BadPointer(addr)),
-            c => (c - 1) as usize,
+        let sb = self.layout.sb_of(addr);
+        let state = match self.owned.get_mut(&sb) {
+            Some(s) => s,
+            None => return Err(HeapError::BadPointer(addr)),
         };
+        let class = state.class as usize;
         let bs = class_size(class);
-        let off = addr.offset_from(self.sb_addr(sb));
+        let off = addr.offset_from(self.layout.sb_addr(sb));
         if !off.is_multiple_of(bs) {
             return Err(HeapError::BadPointer(addr));
         }
         let idx = (off / bs) as u32;
         let widx = (idx / 64) as usize;
         let bit = 1u64 << (idx % 64);
-        if self.bitmaps[sb as usize][widx] & bit == 0 {
+        if state.bitmap[widx] & bit == 0 {
             return Err(HeapError::BadPointer(addr)); // double free
         }
-        self.bitmaps[sb as usize][widx] &= !bit;
-        self.free_count[sb as usize] += 1;
-        writes.push((
-            self.bitmap_word_addr(sb, widx),
-            self.bitmaps[sb as usize][widx],
-        ));
+        state.bitmap[widx] &= !bit;
+        state.free_count += 1;
+        writes.push((self.layout.bitmap_word_addr(sb, widx), state.bitmap[widx]));
         let blocks = (SUPERBLOCK_BYTES / bs) as u32;
-        if self.free_count[sb as usize] == blocks {
-            // Fully empty: return to the unassigned pool for any class.
-            self.sb_class[sb as usize] = 0;
-            self.free_count[sb as usize] = 0;
+        if state.free_count == blocks {
+            // Fully empty: relinquish to the global pool for any shard and
+            // class.
+            self.owned.remove(&sb);
             self.class_lists[class].retain(|&s| s != sb);
-            self.unassigned.push(sb);
-            writes.push((self.meta_addr(sb), 0));
-        } else if self.free_count[sb as usize] == 1 {
-            // Was full; make it findable again.
-            self.class_lists[class].push(sb);
+            writes.push((self.layout.meta_addr(sb), 0));
+            Ok(Some(sb))
+        } else {
+            if state.free_count == 1 {
+                // Was full; make it findable again.
+                self.class_lists[class].push(sb);
+            }
+            Ok(None)
         }
-        Ok(())
     }
 
-    /// Block size of the allocation at `addr`, if it is a live block.
+    /// Block size of the allocation at `addr`, if it is a live block of an
+    /// owned superblock.
     pub fn usable_size(&self, addr: VAddr) -> Option<u64> {
-        if !self.contains(addr) {
+        if !self.layout.contains(addr) {
             return None;
         }
-        let sb = (addr.offset_from(self.sbs_base) / SUPERBLOCK_BYTES) as u32;
-        match self.sb_class[sb as usize] {
-            0 => None,
-            c => {
-                let bs = class_size((c - 1) as usize);
-                let off = addr.offset_from(self.sb_addr(sb));
-                if !off.is_multiple_of(bs) {
-                    return None;
-                }
-                let idx = (off / bs) as u32;
-                let set = self.bitmaps[sb as usize][(idx / 64) as usize] & (1 << (idx % 64));
-                (set != 0).then_some(bs)
-            }
+        let sb = self.layout.sb_of(addr);
+        let state = self.owned.get(&sb)?;
+        let bs = class_size(state.class as usize);
+        let off = addr.offset_from(self.layout.sb_addr(sb));
+        if !off.is_multiple_of(bs) {
+            return None;
         }
+        let idx = (off / bs) as u32;
+        let set = state.bitmap[(idx / 64) as usize] & (1 << (idx % 64));
+        (set != 0).then_some(bs)
     }
 
-    /// Total free blocks across all assigned superblocks (diagnostics).
+    /// Superblocks currently owned by this shard.
+    pub fn owned_superblocks(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Total free blocks across owned superblocks (diagnostics).
     pub fn free_blocks(&self) -> u64 {
-        self.free_count.iter().map(|&c| c as u64).sum()
+        self.owned.values().map(|s| s.free_count as u64).sum()
+    }
+
+    /// Total allocated blocks across owned superblocks (diagnostics).
+    pub fn live_blocks(&self) -> u64 {
+        self.owned
+            .values()
+            .map(|s| SUPERBLOCK_BYTES / class_size(s.class as usize) - s.free_count as u64)
+            .sum()
     }
 }
 
@@ -314,24 +409,25 @@ mod tests {
     #[test]
     fn layout_fits() {
         let base = VAddr(0x1000_0000_0000);
-        let s = SmallAlloc::new(base, 1 << 20);
-        assert!(s.superblocks() >= 120, "1 MB should hold ~125 superblocks");
-        assert!(s.sbs_base.0 >= base.0);
+        let l = SmallLayout::new(base, 1 << 20);
+        assert!(l.superblocks() >= 120, "1 MB should hold ~125 superblocks");
+        assert!(l.sbs_base.0 >= base.0);
     }
 
     #[test]
     fn alloc_free_cycle_volatile_side() {
         let base = VAddr(0x1000_0000_0000);
-        let mut s = SmallAlloc::new(base, 1 << 20);
+        let layout = SmallLayout::new(base, 1 << 20);
+        let mut s = ShardSmall::new(layout);
         let mut w = Vec::new();
-        let a = s.alloc(0, &mut w).unwrap();
+        let a = s.adopt_fresh_and_alloc(0, 0, &mut w);
         // Fresh superblock: block-size write + bitmap write.
         assert_eq!(w.len(), 2);
         let b = s.alloc(0, &mut w).unwrap();
         assert_ne!(a, b);
         assert_eq!(s.usable_size(a), Some(8));
         w.clear();
-        s.free(a, &mut w).unwrap();
+        assert_eq!(s.free(a, &mut w).unwrap(), None);
         assert_eq!(s.usable_size(a), None);
         assert!(matches!(s.free(a, &mut w), Err(HeapError::BadPointer(_))));
     }
@@ -339,26 +435,30 @@ mod tests {
     #[test]
     fn distinct_addresses_until_full_superblock() {
         let base = VAddr(0x1000_0000_0000);
-        let mut s = SmallAlloc::new(base, 64 << 10);
+        let layout = SmallLayout::new(base, 64 << 10);
+        let mut s = ShardSmall::new(layout);
         let mut seen = std::collections::HashSet::new();
         let mut w = Vec::new();
-        for _ in 0..1024 {
+        s.adopt_fresh_and_alloc(0, 0, &mut w);
+        for _ in 0..1023 {
             let a = s.alloc(0, &mut w).unwrap();
             assert!(seen.insert(a), "duplicate address {a}");
         }
+        // 8192 / 8 = 1024 blocks: the superblock is now full.
+        assert!(s.alloc(0, &mut w).is_none());
     }
 
     #[test]
-    fn empty_superblock_returns_to_pool() {
+    fn empty_superblock_relinquished() {
         let base = VAddr(0x1000_0000_0000);
-        let mut s = SmallAlloc::new(base, 64 << 10);
-        let before = s.unassigned.len();
+        let layout = SmallLayout::new(base, 64 << 10);
+        let mut s = ShardSmall::new(layout);
         let mut w = Vec::new();
-        let a = s.alloc(5, &mut w).unwrap(); // 256-byte class
-        assert_eq!(s.unassigned.len(), before - 1);
+        let a = s.adopt_fresh_and_alloc(3, 5, &mut w); // 256-byte class
+        assert_eq!(s.owned_superblocks(), 1);
         w.clear();
-        s.free(a, &mut w).unwrap();
-        assert_eq!(s.unassigned.len(), before);
+        assert_eq!(s.free(a, &mut w).unwrap(), Some(3));
+        assert_eq!(s.owned_superblocks(), 0);
         // The block-size reset write is included.
         assert!(w.iter().any(|&(_, v)| v == 0));
     }
@@ -366,11 +466,25 @@ mod tests {
     #[test]
     fn misaligned_free_rejected() {
         let base = VAddr(0x1000_0000_0000);
-        let mut s = SmallAlloc::new(base, 64 << 10);
+        let layout = SmallLayout::new(base, 64 << 10);
+        let mut s = ShardSmall::new(layout);
         let mut w = Vec::new();
-        let a = s.alloc(5, &mut w).unwrap();
+        let a = s.adopt_fresh_and_alloc(0, 5, &mut w);
         assert!(matches!(
             s.free(a.add(7), &mut w),
+            Err(HeapError::BadPointer(_))
+        ));
+    }
+
+    #[test]
+    fn free_of_unowned_superblock_rejected() {
+        let base = VAddr(0x1000_0000_0000);
+        let layout = SmallLayout::new(base, 64 << 10);
+        let mut s = ShardSmall::new(layout);
+        let mut w = Vec::new();
+        // Superblock 2 was never adopted by this shard.
+        assert!(matches!(
+            s.free(layout.sb_addr(2), &mut w),
             Err(HeapError::BadPointer(_))
         ));
     }

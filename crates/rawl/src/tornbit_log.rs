@@ -162,6 +162,26 @@ impl TornbitLog {
         pmem.read_u64(base) == TORNBIT_MAGIC
     }
 
+    /// Recovers the log at `base` if one exists there, otherwise creates a
+    /// fresh one of `capacity_words`. Returns the producer handle plus any
+    /// records recovered (empty for a fresh log). This is the open path
+    /// for subsystems that keep a *set* of logs and may grow it between
+    /// boots (e.g. the sharded persistent heap adding shard logs).
+    ///
+    /// # Errors
+    /// Propagates [`TornbitLog::create`] / [`TornbitLog::recover`] errors.
+    pub fn open_or_create(
+        pmem: PMem,
+        base: VAddr,
+        capacity_words: u64,
+    ) -> Result<(TornbitLog, Vec<Vec<u64>>), LogError> {
+        if TornbitLog::exists(&pmem, base) {
+            TornbitLog::recover(pmem, base)
+        } else {
+            TornbitLog::create(pmem, base, capacity_words).map(|log| (log, Vec::new()))
+        }
+    }
+
     /// Recovers a tornbit log after a failure: locates the head, scans
     /// forward while torn bits are in sequence, decodes the complete
     /// records (verifying each record's checksum), discards a trailing
