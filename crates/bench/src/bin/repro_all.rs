@@ -30,4 +30,5 @@ fn main() {
         scale,
         mnemosyne_bench::exp::allocscale::run,
     );
+    mnemosyne_bench::util::run_experiment("txscale", scale, mnemosyne_bench::exp::txscale::run);
 }

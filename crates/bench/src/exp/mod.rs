@@ -13,3 +13,4 @@ pub mod table1;
 pub mod table4;
 pub mod table5;
 pub mod table6;
+pub mod txscale;

@@ -55,6 +55,7 @@
 pub mod error;
 pub mod gclock;
 pub mod locks;
+mod pipeline;
 pub mod runtime;
 pub mod tx;
 

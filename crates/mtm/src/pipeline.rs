@@ -1,0 +1,216 @@
+//! Commit pipelining: cross-thread fence batching for the synchronous
+//! commit path.
+//!
+//! A synchronous commit forces its modified cache lines to SCM with
+//! `flush` (which writes each dirty line to media immediately in the
+//! emulator's model, as CLWB does architecturally once the line reaches
+//! the memory controller) and then issues one `fence` for ordering. The
+//! fence is the expensive part — it serialises on the modelled write
+//! latency — and, crucially, commits with **disjoint working sets** do
+//! not need one fence *each*: a single fence issued after all of their
+//! flushes covers every one of them.
+//!
+//! [`GroupFence`] exploits that. A committing thread takes a ticket
+//! *after* its flushes are done, then either becomes the **leader**
+//! (issues one fence covering every ticket taken so far) or
+//! **piggybacks** on a fence some other leader is about to issue. Under
+//! contention-free multiprogramming this collapses N fences into ~1 per
+//! commit group; a single thread degenerates to exactly one fence per
+//! commit, same as before.
+//!
+//! What this must NOT be used for: the redo-log append fence. Log
+//! appends go through the per-thread write-combining buffer, and a fence
+//! only drains the **issuing** handle's buffer — another thread's fence
+//! would not make our log records durable. The log fence therefore stays
+//! per-thread ([`TornbitLog::flush_unpublished`]); only the post-
+//! writeback data fence — whose lines were already pushed to media by
+//! `flush` — is group-batched.
+//!
+//! [`TornbitLog::flush_unpublished`]: mnemosyne_rawl::TornbitLog::flush_unpublished
+
+use std::sync::atomic::Ordering;
+
+use mnemosyne_obs::PaddedAtomicU64;
+use mnemosyne_region::PMem;
+use parking_lot::Mutex;
+
+/// Outcome of [`GroupFence::cover`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Covered {
+    /// This thread issued the fence (and covered any concurrent tickets).
+    Leader,
+    /// Another thread's fence covered this ticket.
+    Piggybacked,
+}
+
+/// A ticket-based fence combiner.
+///
+/// `requested` counts tickets ever taken; `covered` is the highest ticket
+/// known to be ordered behind an issued fence. A caller whose ticket is
+/// ≤ `covered` is done; otherwise it races for the leader lock and fences
+/// on behalf of everyone whose ticket it observed.
+pub(crate) struct GroupFence {
+    requested: PaddedAtomicU64,
+    covered: PaddedAtomicU64,
+    leader: Mutex<()>,
+}
+
+impl GroupFence {
+    pub(crate) fn new() -> GroupFence {
+        GroupFence {
+            requested: PaddedAtomicU64::new(0),
+            covered: PaddedAtomicU64::new(0),
+            leader: Mutex::new(()),
+        }
+    }
+
+    /// Orders every flush this thread has issued behind a fence — its own
+    /// or a concurrent leader's. Returns whether this call issued the
+    /// fence.
+    ///
+    /// The caller must have completed all `flush` calls it wants covered
+    /// *before* taking this ticket; the leader reads `requested` before
+    /// fencing, so any ticket it observes has its flushes already on
+    /// media.
+    pub(crate) fn cover(&self, pmem: &PMem) -> Covered {
+        let ticket = self.requested.fetch_add(1, Ordering::AcqRel) + 1;
+        loop {
+            if self.covered.load(Ordering::Acquire) >= ticket {
+                return Covered::Piggybacked;
+            }
+            if let Some(_leader) = self.leader.try_lock() {
+                if self.covered.load(Ordering::Acquire) >= ticket {
+                    return Covered::Piggybacked;
+                }
+                // Cover every ticket taken up to now, not just our own:
+                // those threads' flushes happened before their ticket, so
+                // one fence orders all of them.
+                let target = self.requested.load(Ordering::Acquire);
+                pmem.fence();
+                self.covered.fetch_max(target, Ordering::AcqRel);
+                return Covered::Leader;
+            }
+            // A leader is fencing; in crash tests it may die at that
+            // fence, so poll for the injected crash rather than spin
+            // forever.
+            pmem.poll_crash();
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl std::fmt::Debug for GroupFence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupFence")
+            .field("requested", &self.requested.load(Ordering::Relaxed))
+            .field("covered", &self.covered.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::{Arc, Barrier};
+
+    use mnemosyne_region::{RegionManager, Regions};
+    use mnemosyne_scm::{ScmConfig, ScmSim};
+
+    use super::*;
+
+    fn boot() -> (ScmSim, Regions, std::path::PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("mtm-gf-{}-{:x}", std::process::id(), dir_nonce()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sim = ScmSim::new(ScmConfig::for_testing(8 << 20));
+        let mgr = RegionManager::boot(&sim, &dir).unwrap();
+        let (regions, _) = Regions::open(&mgr, 4096).unwrap();
+        (sim, regions, dir)
+    }
+
+    fn dir_nonce() -> u64 {
+        use std::sync::atomic::AtomicU64;
+        static N: AtomicU64 = AtomicU64::new(0x5eed);
+        N.fetch_add(0x9E37_79B9, Ordering::Relaxed)
+    }
+
+    #[test]
+    fn single_thread_is_one_fence_per_cover() {
+        let (sim, regions, dir) = boot();
+        let gf = GroupFence::new();
+        let pmem = regions.pmem_handle();
+        let before = sim.stats().fences;
+        assert_eq!(gf.cover(&pmem), Covered::Leader);
+        assert_eq!(gf.cover(&pmem), Covered::Leader);
+        assert_eq!(sim.stats().fences - before, 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn concurrent_covers_never_outnumber_fences_or_lose_tickets() {
+        let (sim, regions, dir) = boot();
+        let gf = Arc::new(GroupFence::new());
+        let threads = 8;
+        let rounds = 50;
+        let barrier = Arc::new(Barrier::new(threads));
+        let before = sim.stats().fences;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let gf = Arc::clone(&gf);
+                let barrier = Arc::clone(&barrier);
+                let pmem = regions.pmem_handle();
+                std::thread::spawn(move || {
+                    let mut led = 0u64;
+                    for _ in 0..rounds {
+                        barrier.wait();
+                        if gf.cover(&pmem) == Covered::Leader {
+                            led += 1;
+                        }
+                    }
+                    led
+                })
+            })
+            .collect();
+        let led: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let fences = sim.stats().fences - before;
+        let covers = (threads * rounds) as u64;
+        assert_eq!(fences, led, "every fence has exactly one leader");
+        assert!(fences <= covers, "never more fences than covers");
+        assert!(
+            gf.covered.load(Ordering::Relaxed) >= gf.requested.load(Ordering::Relaxed),
+            "every ticket ends up covered"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// Deterministic piggybacking (a single-core scheduler may never
+    /// overlap covers naturally): hold the leader lock so waiters pile
+    /// up, cover them all with one fence, and check every one of them
+    /// reports piggybacked.
+    #[test]
+    fn pending_tickets_are_covered_by_one_fence() {
+        let (sim, regions, dir) = boot();
+        let gf = Arc::new(GroupFence::new());
+        let guard = gf.leader.lock();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let gf = Arc::clone(&gf);
+                let pmem = regions.pmem_handle();
+                std::thread::spawn(move || gf.cover(&pmem))
+            })
+            .collect();
+        while gf.requested.load(Ordering::Acquire) < 4 {
+            std::thread::yield_now();
+        }
+        // Act as the commit-group leader on the waiters' behalf.
+        let before = sim.stats().fences;
+        let target = gf.requested.load(Ordering::Acquire);
+        regions.pmem_handle().fence();
+        gf.covered.fetch_max(target, Ordering::AcqRel);
+        drop(guard);
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Covered::Piggybacked);
+        }
+        assert_eq!(sim.stats().fences - before, 1, "one fence covered all four");
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -18,10 +18,35 @@ use mnemosyne_scm::EmulationMode;
 use crate::error::{TxAbort, TxError};
 use crate::gclock::GlobalClock;
 use crate::locks::LockTable;
+use crate::pipeline::{Covered, GroupFence};
 use crate::tx::Tx;
 
 /// When the redo log of a committed transaction is truncated (§5
 /// "Transaction log").
+///
+/// ```
+/// # use mnemosyne_scm::{ScmSim, ScmConfig};
+/// # use mnemosyne_region::{RegionManager, Regions};
+/// # use mnemosyne_mtm::{MtmRuntime, MtmConfig, Truncation};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let dir = std::env::temp_dir().join(format!("mtm-doc-trunc-{}", std::process::id()));
+/// # std::fs::create_dir_all(&dir)?;
+/// # let sim = ScmSim::new(ScmConfig::for_testing(16 << 20));
+/// # let mgr = RegionManager::boot(&sim, &dir)?;
+/// # let (regions, _pmem) = Regions::open(&mgr, 1 << 16)?;
+/// # let regions = std::sync::Arc::new(regions);
+/// // Async mode starts a log-manager thread that drains commit records
+/// // off the critical path; Sync (the default) truncates inline.
+/// let rt = MtmRuntime::open(&regions, MtmConfig::default().with_truncation(Truncation::Async))?;
+/// let (cell, _) = regions.static_area();
+/// let mut th = rt.register_thread()?;
+/// th.atomic(|tx| tx.write_u64(cell, 7))?;
+/// drop(th);
+/// drop(rt); // stops the manager after a final graceful drain
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Truncation {
     /// Commit flushes every modified cache line and truncates immediately:
@@ -48,6 +73,22 @@ pub struct MtmConfig {
     pub truncation: Truncation,
     /// Region-name prefix for the logs.
     pub name_prefix: String,
+    /// Batch the post-writeback data fence across concurrently committing
+    /// threads (commit pipelining). A single thread still issues exactly
+    /// one fence per commit; disabling this forces a private fence even
+    /// under concurrency (useful for A/B measurements).
+    pub group_commit: bool,
+    /// Synchronous-mode log occupancy (percent of capacity) above which a
+    /// commit truncates its log to the durable watermark. `0` truncates
+    /// every commit (the pre-pipelining behaviour); higher values
+    /// amortise the truncation fence over many commits, leaving committed
+    /// records in the log — harmless, since recovery replay is
+    /// idempotent.
+    pub sync_truncate_pct: u8,
+    /// Bounded-backoff patience: how many escalating waits a transaction
+    /// spends on a foreign-owned lock before aborting. `0` restores raw
+    /// abort-on-conflict.
+    pub max_lock_waits: u32,
 }
 
 impl Default for MtmConfig {
@@ -58,6 +99,9 @@ impl Default for MtmConfig {
             lock_table_size: 1 << 20,
             truncation: Truncation::Sync,
             name_prefix: "mtm".to_string(),
+            group_commit: true,
+            sync_truncate_pct: 50,
+            max_lock_waits: 6,
         }
     }
 }
@@ -72,6 +116,25 @@ impl MtmConfig {
     /// Overrides the thread-slot count.
     pub fn with_max_threads(mut self, n: usize) -> Self {
         self.max_threads = n;
+        self
+    }
+
+    /// Enables or disables cross-thread commit-fence batching.
+    pub fn with_group_commit(mut self, on: bool) -> Self {
+        self.group_commit = on;
+        self
+    }
+
+    /// Overrides the synchronous watermark-truncation threshold (percent
+    /// of log capacity; `0` = truncate every commit).
+    pub fn with_sync_truncate_pct(mut self, pct: u8) -> Self {
+        self.sync_truncate_pct = pct.min(90);
+        self
+    }
+
+    /// Overrides the bounded-backoff patience on contended locks.
+    pub fn with_max_lock_waits(mut self, waits: u32) -> Self {
+        self.max_lock_waits = waits;
         self
     }
 }
@@ -115,6 +178,26 @@ pub(crate) struct MtmMetrics {
     pub(crate) writeback_ns: Histogram,
     /// Commit phase: synchronous flush + fence + truncate (sync mode).
     pub(crate) truncate_ns: Histogram,
+    /// Encounter-time probes that found the lock foreign-owned (one per
+    /// conflict episode, not per backoff round).
+    pub(crate) lock_conflicts: Counter,
+    /// Conflict episodes that exhausted bounded backoff and aborted.
+    /// Identity: `lock_conflicts - conflict_aborts` = episodes resolved
+    /// by waiting.
+    pub(crate) conflict_aborts: Counter,
+    /// Spin counts chosen by adaptive backoff (per wait round; also
+    /// records the inter-attempt backoff of the `atomic` retry loop).
+    pub(crate) backoff_spins: Histogram,
+    /// Group data fences issued by commit-group leaders (sync mode).
+    pub(crate) group_fences: Counter,
+    /// Commits whose data fence was covered by another thread's group
+    /// fence. Identity: `group_fences + piggybacked_commits` = sync
+    /// update commits when group commit is enabled.
+    pub(crate) piggybacked_commits: Counter,
+    /// Watermark (incremental) truncations: sync commits that truncated
+    /// their log up to the durable watermark instead of every commit
+    /// dropping the whole log.
+    pub(crate) wm_truncations: Counter,
 }
 
 impl MtmMetrics {
@@ -131,6 +214,12 @@ impl MtmMetrics {
             log_ns: telemetry.histogram("mtm.commit.log_ns", Unit::Nanoseconds),
             writeback_ns: telemetry.histogram("mtm.commit.writeback_ns", Unit::Nanoseconds),
             truncate_ns: telemetry.histogram("mtm.commit.truncate_ns", Unit::Nanoseconds),
+            lock_conflicts: telemetry.counter("mtm.lock_conflicts", Unit::Count),
+            conflict_aborts: telemetry.counter("mtm.conflict_aborts", Unit::Count),
+            backoff_spins: telemetry.histogram("mtm.backoff_spins", Unit::Count),
+            group_fences: telemetry.counter("mtm.group_fences", Unit::Count),
+            piggybacked_commits: telemetry.counter("mtm.piggybacked_commits", Unit::Count),
+            wm_truncations: telemetry.counter("mtm.wm_truncations", Unit::Count),
         }
     }
 }
@@ -172,6 +261,41 @@ struct ManagerHandle {
 /// The durable-transaction runtime. Create once per process with
 /// [`MtmRuntime::open`]; hand each worker a [`TxThread`] via
 /// [`MtmRuntime::register_thread`].
+///
+/// Opening replays any committed-but-unwritten-back transactions left in
+/// the per-thread redo logs, so a value committed before a crash is
+/// visible after reopening:
+///
+/// ```
+/// # use mnemosyne_scm::{ScmSim, ScmConfig};
+/// # use mnemosyne_region::{RegionManager, Regions};
+/// # use mnemosyne_mtm::{MtmRuntime, MtmConfig};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let dir = std::env::temp_dir().join(format!("mtm-doc-rt-{}", std::process::id()));
+/// # std::fs::create_dir_all(&dir)?;
+/// # let sim = ScmSim::new(ScmConfig::for_testing(16 << 20));
+/// # let mgr = RegionManager::boot(&sim, &dir)?;
+/// # let (regions, _pmem) = Regions::open(&mgr, 1 << 16)?;
+/// # let regions = std::sync::Arc::new(regions);
+/// let rt = MtmRuntime::open(&regions, MtmConfig::default())?;
+/// let (cell, _) = regions.static_area();
+///
+/// let mut th = rt.register_thread()?;
+/// th.atomic(|tx| tx.write_u64(cell, 42))?;
+/// assert_eq!(rt.stats().commits, 1);
+/// drop(th);
+/// drop(rt);
+///
+/// // Reopen over the same regions: recovery runs, committed state holds.
+/// let rt = MtmRuntime::open(&regions, MtmConfig::default())?;
+/// let mut th = rt.register_thread()?;
+/// let v = th.atomic(|tx| tx.read_u64(cell))?;
+/// assert_eq!(v, 42);
+/// # drop(th);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok(())
+/// # }
+/// ```
 pub struct MtmRuntime {
     clock: GlobalClock,
     locks: LockTable,
@@ -179,6 +303,10 @@ pub struct MtmRuntime {
     heap: RwLock<Option<Arc<PHeap>>>,
     slots: Mutex<Vec<Option<TornbitLog>>>,
     truncation: Truncation,
+    group_commit: bool,
+    sync_truncate_pct: u8,
+    max_lock_waits: u32,
+    group_fence: GroupFence,
     commits: AtomicU64,
     aborts: AtomicU64,
     replayed: AtomicU64,
@@ -275,6 +403,10 @@ impl MtmRuntime {
             regions: Arc::clone(regions),
             heap: RwLock::new(None),
             truncation: config.truncation,
+            group_commit: config.group_commit,
+            sync_truncate_pct: config.sync_truncate_pct.min(90),
+            max_lock_waits: config.max_lock_waits,
+            group_fence: GroupFence::new(),
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
             replayed: AtomicU64::new(replayed),
@@ -380,6 +512,38 @@ impl MtmRuntime {
         self.truncation
     }
 
+    pub(crate) fn group_commit(&self) -> bool {
+        self.group_commit
+    }
+
+    pub(crate) fn sync_truncate_pct(&self) -> u8 {
+        self.sync_truncate_pct
+    }
+
+    pub(crate) fn max_lock_waits(&self) -> u32 {
+        self.max_lock_waits
+    }
+
+    pub(crate) fn group_fence(&self) -> &GroupFence {
+        &self.group_fence
+    }
+
+    /// Accounted busy time (ns) of each thread slot's log handle — the
+    /// per-slot serial-resource time under the SCM emulator's virtual
+    /// clock, mirroring [`PHeap::shard_busy_ns`]. Slots whose
+    /// [`TxThread`] is currently checked out report 0; call this after
+    /// workers have dropped their threads (as `txscale` does) for
+    /// complete figures.
+    ///
+    /// [`PHeap::shard_busy_ns`]: mnemosyne_pheap::PHeap::shard_busy_ns
+    pub fn slot_busy_ns(&self) -> Vec<u64> {
+        self.slots
+            .lock()
+            .iter()
+            .map(|s| s.as_ref().map_or(0, |log| log.pmem().accounted_ns()))
+            .collect()
+    }
+
     /// Models abrupt process death for crash testing: stops the
     /// asynchronous log manager *without* its final drain sweep, so the
     /// runtime stops touching SCM from background threads. Call this
@@ -408,8 +572,18 @@ impl Drop for MtmRuntime {
     }
 }
 
+/// Records consumed between intermediate truncations of one log-manager
+/// drain pass. Small enough that a producer stalled on a full log sees
+/// freed space after a bounded amount of manager work (instead of only
+/// when the whole backlog has drained), large enough that the truncation
+/// fence stays amortised.
+const MANAGER_DRAIN_STEP: usize = 16;
+
 /// The asynchronous log manager: drains every per-thread log, forcing the
 /// values named by each record out to SCM before truncating (§5).
+/// Truncation is incremental — every [`MANAGER_DRAIN_STEP`] records the
+/// durable watermark advances, so producers stall for bounded time even
+/// when a pass has a deep backlog.
 fn log_manager(truncators: Vec<LogTruncator>, stop: Arc<AtomicBool>, hard: Arc<AtomicBool>) {
     while !stop.load(Ordering::Relaxed) {
         let mut drained = 0usize;
@@ -418,7 +592,7 @@ fn log_manager(truncators: Vec<LogTruncator>, stop: Arc<AtomicBool>, hard: Arc<A
                 continue; // corrupt log: producer gets the typed error
             }
             drained += t
-                .drain(|rec| {
+                .drain_incremental(MANAGER_DRAIN_STEP, |rec| {
                     // rec = [ts, (addr, val)*]; flush each written line.
                     for pair in rec[1..].chunks_exact(2) {
                         t.pmem().flush(VAddr(pair[0]));
@@ -479,6 +653,13 @@ impl TxThread {
         self.slot
     }
 
+    /// Next value of the thread-local xorshift-free LCG (used for
+    /// randomised backoff).
+    pub(crate) fn next_rand(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.rng
+    }
+
     /// This thread's persistent-memory handle (shared with its log).
     pub fn pmem(&self) -> &PMem {
         self.log.as_ref().expect("log present").pmem()
@@ -491,6 +672,47 @@ impl TxThread {
     /// Runs `body` as a durable memory transaction — the `atomic { … }`
     /// block of Table 3. The closure may run several times (conflict
     /// retry); all persistent access must go through the provided [`Tx`].
+    ///
+    /// Begin, read/write, and commit are all implicit: the transaction
+    /// begins when the closure is entered and commits (redo append, one
+    /// fence, write-back, data force) when it returns `Ok`. Returning
+    /// [`Tx::cancel`] aborts with no visible effect:
+    ///
+    /// ```
+    /// # use mnemosyne_scm::{ScmSim, ScmConfig};
+    /// # use mnemosyne_region::{RegionManager, Regions};
+    /// # use mnemosyne_mtm::{MtmRuntime, MtmConfig, TxError};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// # let dir = std::env::temp_dir().join(format!("mtm-doc-atomic-{}", std::process::id()));
+    /// # std::fs::create_dir_all(&dir)?;
+    /// # let sim = ScmSim::new(ScmConfig::for_testing(16 << 20));
+    /// # let mgr = RegionManager::boot(&sim, &dir)?;
+    /// # let (regions, _pmem) = Regions::open(&mgr, 1 << 16)?;
+    /// # let regions = std::sync::Arc::new(regions);
+    /// # let rt = MtmRuntime::open(&regions, MtmConfig::default())?;
+    /// # let (cell, _) = regions.static_area();
+    /// let mut th = rt.register_thread()?;
+    ///
+    /// // Read-modify-write, atomic and durable at the closure's Ok.
+    /// let before = th.atomic(|tx| {
+    ///     let v = tx.read_u64(cell)?;
+    ///     tx.write_u64(cell, v + 1)?;
+    ///     Ok(v)
+    /// })?;
+    /// assert_eq!(before, 0);
+    ///
+    /// // A cancelled transaction leaves no trace.
+    /// let r: Result<(), TxError> = th.atomic(|tx| {
+    ///     tx.write_u64(cell, 999)?;
+    ///     Err(tx.cancel())
+    /// });
+    /// assert!(matches!(r, Err(TxError::Cancelled)));
+    /// assert_eq!(th.atomic(|tx| tx.read_u64(cell))?, 1);
+    /// # drop(th);
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Errors
     /// [`TxError::Cancelled`] if the closure returned [`Tx::cancel`], or
@@ -527,8 +749,8 @@ impl TxThread {
             }
             // Conflict: randomised exponential backoff.
             attempt = (attempt + 1).min(10);
-            self.rng = self.rng.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let spins = self.rng % (1u64 << attempt);
+            let spins = self.next_rand() % (1u64 << attempt);
+            self.rt.metrics().backoff_spins.record(spins);
             for _ in 0..spins {
                 std::hint::spin_loop();
             }
@@ -587,9 +809,16 @@ impl Tx<'_> {
             match self.th.log_mut().append(&record) {
                 Ok(()) => break,
                 Err(LogError::Full { .. }) => match truncation {
-                    // Synchronous regime: all prior commits already forced
-                    // their data, so dropping the log is safe.
-                    Truncation::Sync => self.th.log_mut().truncate_all(),
+                    // Synchronous regime: every prior commit in this log
+                    // forced its data (flush + fence) before releasing
+                    // its locks, so the entire backlog sits below the
+                    // durable watermark — drop it with a single fence
+                    // rather than truncate_all's flush + truncate pair.
+                    Truncation::Sync => {
+                        let wm = self.th.log_mut().tail_pos();
+                        self.th.log_mut().truncate_to_watermark(wm);
+                        self.th.rt().metrics().wm_truncations.inc();
+                    }
                     // Asynchronous: wait for the log manager (§5: "program
                     // threads may stall until there is free log space").
                     // This loop issues no durability primitives, so under
@@ -648,14 +877,36 @@ impl Tx<'_> {
             .record(writeback_timer.stop(self.th.pmem()));
 
         if truncation == Truncation::Sync {
-            // Force data, then truncate: walk distinct cache lines.
+            // Force data: walk distinct cache lines, then order them
+            // behind one fence — our own, or a concurrent commit-group
+            // leader's (`flush` pushed the lines to media already, so any
+            // thread's fence covers them; see `pipeline`).
             let truncate_timer = PhaseTimer::start(self.th.pmem());
             let lines: HashSet<u64> = self.write_set.keys().map(|a| a & !63).collect();
             for line in lines {
                 self.th.pmem().flush(VAddr(line));
             }
-            self.th.pmem().fence();
-            self.th.log_mut().truncate_all();
+            if self.th.rt().group_commit() {
+                match self.th.rt().group_fence().cover(self.th.pmem()) {
+                    Covered::Leader => self.th.rt().metrics().group_fences.inc(),
+                    Covered::Piggybacked => self.th.rt().metrics().piggybacked_commits.inc(),
+                }
+            } else {
+                self.th.pmem().fence();
+            }
+            // Amortised truncation: drop the log only once it passes the
+            // occupancy threshold. Everything below the watermark is
+            // doubly durable (record fenced, data fenced), and leaving
+            // committed records in the log is safe because recovery
+            // replay is idempotent.
+            let pct = self.th.rt().sync_truncate_pct() as u64;
+            let log = self.th.log_mut();
+            let used = log.capacity() - log.free_words();
+            if pct == 0 || used * 100 >= log.capacity() * pct {
+                let wm = log.tail_pos();
+                log.truncate_to_watermark(wm);
+                self.th.rt().metrics().wm_truncations.inc();
+            }
             self.th
                 .rt()
                 .metrics()

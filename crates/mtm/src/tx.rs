@@ -56,6 +56,49 @@ impl<'a> Tx<'a> {
         }
     }
 
+    /// Bounded adaptive backoff on a lock found foreign-owned — the
+    /// contention manager for encounter-time conflicts. Instead of
+    /// aborting on the first owned probe (raw spin/abort), the thread
+    /// waits a randomised, exponentially growing number of spins — the
+    /// exponent raised further by the site's contention level, so hot
+    /// sites wait longer — and re-probes, up to `max_lock_waits` rounds.
+    ///
+    /// Returns `Ok(())` to re-probe; `Err(TxAbort::Conflict)` once
+    /// patience is exhausted (livelock/deadlock escape: two transactions
+    /// waiting on each other's locks must eventually abort one).
+    fn backoff_on_owned(&mut self, idx: usize, waits: &mut u32) -> Result<(), TxAbort> {
+        if *waits == 0 {
+            self.th.rt().metrics().lock_conflicts.inc();
+            self.th.rt().locks().note_conflict(idx);
+        }
+        if *waits >= self.th.rt().max_lock_waits() {
+            self.th.rt().metrics().conflict_aborts.inc();
+            return Err(TxAbort::Conflict);
+        }
+        let shift = (*waits as u64 + 1 + self.th.rt().locks().contention(idx)).min(14);
+        let spins = self.th.next_rand() % (1u64 << shift);
+        self.th.rt().metrics().backoff_spins.record(spins);
+        // The wait issues no durability primitives, so under fault
+        // injection poll explicitly: if the lock owner died at a crash
+        // point, this waiter must die here too rather than spin out its
+        // patience against a corpse.
+        self.th.pmem().poll_crash();
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+        *waits += 1;
+        Ok(())
+    }
+
+    /// Bookkeeping for a conflict episode that resolved without an abort:
+    /// decay the site's contention hint.
+    fn note_wait_resolved(&mut self, idx: usize, waits: &mut u32) {
+        if *waits > 0 {
+            self.th.rt().locks().note_resolved(idx);
+            *waits = 0;
+        }
+    }
+
     /// Validates every recorded read against the lock table; on success
     /// advances the horizon (TinySTM's timestamp extension).
     fn extend(&mut self) -> Result<(), TxAbort> {
@@ -96,10 +139,12 @@ impl<'a> Tx<'a> {
             // We hold the covering lock; memory cannot change under us.
             return Ok(self.th.pmem().read_u64(addr));
         }
+        let mut waits = 0u32;
         loop {
             match self.th.rt().locks().probe(idx) {
-                LockState::Owned(_) => return Err(TxAbort::Conflict),
+                LockState::Owned(_) => self.backoff_on_owned(idx, &mut waits)?,
                 LockState::Version(v1) => {
+                    self.note_wait_resolved(idx, &mut waits);
                     let val = self.th.pmem().read_u64(addr);
                     match self.th.rt().locks().probe(idx) {
                         LockState::Version(v2) if v2 == v1 => {
@@ -137,10 +182,12 @@ impl<'a> Tx<'a> {
         );
         let idx = self.th.rt().locks().index_of(addr);
         if !self.owned.contains(&idx) {
+            let mut waits = 0u32;
             loop {
                 match self.th.rt().locks().probe(idx) {
-                    LockState::Owned(_) => return Err(TxAbort::Conflict),
+                    LockState::Owned(_) => self.backoff_on_owned(idx, &mut waits)?,
                     LockState::Version(v) => {
+                        self.note_wait_resolved(idx, &mut waits);
                         if v > self.rv {
                             // Someone committed to this slot after our
                             // snapshot horizon. Validate-and-extend *before*

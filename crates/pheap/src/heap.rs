@@ -718,6 +718,27 @@ impl PHeap {
     /// `pmalloc(sz, ptr)`. The cell write is part of the same atomic
     /// operation, so a crash can never strand the block (§3.4).
     ///
+    /// ```
+    /// # use mnemosyne_scm::{ScmSim, ScmConfig};
+    /// # use mnemosyne_region::{RegionManager, Regions};
+    /// # use mnemosyne_pheap::{PHeap, HeapConfig};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// # let dir = std::env::temp_dir().join(format!("pheap-doc-malloc-{}", std::process::id()));
+    /// # std::fs::create_dir_all(&dir)?;
+    /// # let sim = ScmSim::new(ScmConfig::for_testing(16 << 20));
+    /// # let mgr = RegionManager::boot(&sim, &dir)?;
+    /// # let (regions, pmem) = Regions::open(&mgr, 1 << 16)?;
+    /// # let heap = PHeap::open(&regions, HeapConfig::default())?;
+    /// // `cell` is itself persistent: the heap commits "cell -> block"
+    /// // in one atomic step, so the block is always reachable.
+    /// let (cell, _) = regions.static_area();
+    /// let block = heap.pmalloc(64, cell)?;
+    /// assert_eq!(pmem.read_u64(cell), block.0);
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     /// Fails if the cell is not a persistent word-aligned address or the
     /// heap is exhausted.
@@ -732,6 +753,28 @@ impl PHeap {
     /// nullifies the cell — the paper's `pfree(ptr)`: "to ensure that the
     /// persistent pointer does not continue to point to the deallocated
     /// chunk if the system fails just after a deallocation".
+    ///
+    /// ```
+    /// # use mnemosyne_scm::{ScmSim, ScmConfig};
+    /// # use mnemosyne_region::{RegionManager, Regions};
+    /// # use mnemosyne_pheap::{PHeap, HeapConfig, HeapError};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// # let dir = std::env::temp_dir().join(format!("pheap-doc-free-{}", std::process::id()));
+    /// # std::fs::create_dir_all(&dir)?;
+    /// # let sim = ScmSim::new(ScmConfig::for_testing(16 << 20));
+    /// # let mgr = RegionManager::boot(&sim, &dir)?;
+    /// # let (regions, pmem) = Regions::open(&mgr, 1 << 16)?;
+    /// # let heap = PHeap::open(&regions, HeapConfig::default())?;
+    /// # let (cell, _) = regions.static_area();
+    /// let _block = heap.pmalloc(64, cell)?;
+    /// heap.pfree(cell)?;
+    /// assert_eq!(pmem.read_u64(cell), 0); // cell nullified atomically
+    /// // Freeing through a null cell is a typed error, not UB.
+    /// assert!(matches!(heap.pfree(cell), Err(HeapError::BadPointer(_))));
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Errors
     /// Fails if the cell does not reference a live heap block.

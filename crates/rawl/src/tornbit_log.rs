@@ -358,6 +358,40 @@ impl TornbitLog {
         self.metrics.truncations.inc();
     }
 
+    /// Stream position one past the last appended word — the producer's
+    /// durable watermark once those appends have been fenced and their
+    /// dependent data forced out.
+    pub fn tail_pos(&self) -> u64 {
+        self.shared.tail.load(Ordering::Relaxed)
+    }
+
+    /// Incremental truncation: durably advances the head to `watermark`
+    /// (a stream position at a record boundary, at most [`tail_pos`]),
+    /// dropping every record before it, for one word write + one fence —
+    /// without the extra flush fence of [`TornbitLog::truncate_all`].
+    ///
+    /// The caller asserts that everything below `watermark` is durable
+    /// *twice over*: the records themselves were fenced, and the data
+    /// writes they describe were flushed and fenced, so recovery no
+    /// longer needs them. The transaction runtime uses this to amortise
+    /// truncation over many commits (the commit-pipeline batching)
+    /// instead of dropping the whole log on every commit.
+    ///
+    /// A watermark at or below the current head is a no-op costing no
+    /// durability primitives.
+    ///
+    /// [`tail_pos`]: TornbitLog::tail_pos
+    pub fn truncate_to_watermark(&mut self, watermark: u64) {
+        let head = self.shared.head.load(Ordering::Relaxed);
+        if watermark <= head {
+            return;
+        }
+        let tail = self.shared.tail.load(Ordering::Relaxed);
+        let wm = watermark.min(tail);
+        self.shared.truncate_to(&self.pmem, wm);
+        self.metrics.truncations.inc();
+    }
+
     /// Creates the single consumer handle for asynchronous truncation from
     /// another thread. `pmem` must be a handle for that thread.
     pub fn truncator(&self, pmem: PMem) -> LogTruncator {
@@ -430,11 +464,38 @@ impl LogTruncator {
     /// were delivered to `f`), the log is poisoned so the producer stops
     /// appending, and the damaged region is left in place for recovery to
     /// report.
-    pub fn drain(&self, mut f: impl FnMut(&[u64])) -> Result<usize, LogError> {
+    pub fn drain(&self, f: impl FnMut(&[u64])) -> Result<usize, LogError> {
+        self.drain_incremental(usize::MAX, f)
+    }
+
+    /// Like [`LogTruncator::drain`], but durably truncates every
+    /// `step_records` records *during* the pass instead of once at the
+    /// end, so a producer blocked on a full log sees freed space after a
+    /// bounded amount of consumer work — the incremental "durable
+    /// watermark" truncation the transaction runtime's log manager uses
+    /// to keep `mtm.truncation_stalls` bounded under sustained load.
+    ///
+    /// Each intermediate truncation costs one word write + one fence on
+    /// the consumer handle; `step_records == usize::MAX` recovers the
+    /// single-truncation behaviour of `drain`. A `step_records` of 0 is
+    /// treated as 1.
+    ///
+    /// # Errors
+    /// Same contract as [`LogTruncator::drain`]: on a checksum failure the
+    /// records consumed before the corrupt one are still truncated and the
+    /// log is poisoned.
+    pub fn drain_incremental(
+        &self,
+        step_records: usize,
+        mut f: impl FnMut(&[u64]),
+    ) -> Result<usize, LogError> {
+        let step = step_records.max(1);
         let end = self.shared.fenced.load(Ordering::Acquire);
         let mut p = self.shared.head.load(Ordering::Relaxed);
         let read_word = |pos: u64| self.pmem.read_u64(self.shared.word_addr(pos));
         let mut n = 0;
+        let mut since_truncate = 0;
+        let mut truncated_to = p;
         let mut corrupt = None;
         while p < end {
             match decode_record(&read_word, p, end, self.shared.capacity) {
@@ -442,6 +503,13 @@ impl LogTruncator {
                     f(&payload);
                     p = next;
                     n += 1;
+                    since_truncate += 1;
+                    if since_truncate >= step {
+                        self.shared.truncate_to(&self.pmem, p);
+                        self.metrics.truncations.inc();
+                        truncated_to = p;
+                        since_truncate = 0;
+                    }
                 }
                 Decoded::Incomplete => break,
                 Decoded::Corrupt { position, detail } => {
@@ -450,7 +518,7 @@ impl LogTruncator {
                 }
             }
         }
-        if n > 0 {
+        if p > truncated_to {
             self.shared.truncate_to(&self.pmem, p);
             self.metrics.truncations.inc();
         }
@@ -704,6 +772,88 @@ mod tests {
         assert_eq!(seen[1], vec![3, 4]);
         // Space reclaimed for the producer.
         assert_eq!(log.free_words(), 256);
+    }
+
+    #[test]
+    fn drain_incremental_frees_space_during_the_pass() {
+        let (_env, mut log) = setup(256);
+        let tr = log.truncator(_env.regions.pmem_handle());
+        for i in 0..8u64 {
+            log.append(&[i, i + 1]).unwrap();
+        }
+        log.flush();
+        let backlog_at_start = tr.backlog_words();
+        assert!(backlog_at_start > 0);
+        // With step=1 the head must advance after every record, so the
+        // backlog seen from inside the callback strictly shrinks: a
+        // producer blocked on Full would observe freed space mid-pass.
+        let mut backlogs = Vec::new();
+        let n = tr
+            .drain_incremental(1, |_| backlogs.push(tr.backlog_words()))
+            .unwrap();
+        assert_eq!(n, 8);
+        // The callback for record k runs before record k's truncation, so
+        // the first observation equals the full backlog and each later one
+        // is strictly smaller than its predecessor.
+        assert_eq!(backlogs[0], backlog_at_start);
+        for w in backlogs.windows(2) {
+            assert!(w[1] < w[0], "backlog must shrink mid-pass: {backlogs:?}");
+        }
+        assert_eq!(tr.backlog_words(), 0);
+        assert_eq!(log.free_words(), 256);
+    }
+
+    #[test]
+    fn drain_incremental_step_counts_truncation_fences() {
+        let (env, mut log) = setup(512);
+        let tr = log.truncator(env.regions.pmem_handle());
+        for i in 0..9u64 {
+            log.append(&[i]).unwrap();
+        }
+        log.flush();
+        let before = env.sim.stats().fences;
+        let n = tr.drain_incremental(4, |_| {}).unwrap();
+        assert_eq!(n, 9);
+        // 9 records at step 4: truncations after records 4 and 8, plus the
+        // final catch-up truncation — one fence each.
+        assert_eq!(env.sim.stats().fences - before, 3);
+        assert_eq!(log.free_words(), 512);
+    }
+
+    #[test]
+    fn producer_watermark_truncation_is_single_fence() {
+        let (env, mut log) = setup(256);
+        log.append(&[1, 2, 3]).unwrap();
+        log.append(&[4, 5]).unwrap();
+        log.flush();
+        let wm = log.tail_pos();
+        log.append(&[6]).unwrap();
+        log.flush();
+        let before = env.sim.stats().fences;
+        log.truncate_to_watermark(wm);
+        assert_eq!(
+            env.sim.stats().fences - before,
+            1,
+            "watermark truncation must cost exactly one fence"
+        );
+        // Only the record past the watermark survives.
+        env.sim.crash(CrashPolicy::DropAll);
+        let (_log, records) = recover(&env);
+        assert_eq!(records, vec![vec![6]]);
+    }
+
+    #[test]
+    fn watermark_at_or_below_head_is_free_noop() {
+        let (env, mut log) = setup(256);
+        log.append(&[7, 8]).unwrap();
+        log.flush();
+        log.truncate_to_watermark(log.tail_pos());
+        let before = env.sim.stats().fences;
+        let stores = env.sim.stats().wtstore_words;
+        log.truncate_to_watermark(0);
+        log.truncate_to_watermark(log.tail_pos());
+        assert_eq!(env.sim.stats().fences, before);
+        assert_eq!(env.sim.stats().wtstore_words, stores);
     }
 
     #[test]

@@ -9,14 +9,23 @@
 //! cargo run --example persistent_kv -- del lang
 //! cargo run --example persistent_kv -- list
 //! ```
+//!
+//! The command runs under synchronous log truncation; the store is then
+//! reopened under asynchronous truncation (§5's log-manager regime) for a
+//! read-back check, and the telemetry sidecar for the whole run is
+//! written next to the state files — so the example smoke-tests both
+//! commit paths on every invocation.
 
-use mnemosyne::Mnemosyne;
+use mnemosyne::{Mnemosyne, Truncation};
 use mnemosyne_pds::PHashTable;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let dir = std::env::temp_dir().join("mnemosyne-kv");
-    let m = Mnemosyne::builder(&dir).scm_size(32 << 20).open()?;
+    let m = Mnemosyne::builder(&dir)
+        .scm_size(32 << 20)
+        .truncation(Truncation::Sync)
+        .open()?;
     let mut th = m.register_thread()?;
     let table = PHashTable::open(&m, &mut th, "kv", 256)?;
 
@@ -40,8 +49,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("usage: persistent_kv set <k> <v> | get <k> | del <k> | list");
         }
     }
-
+    let keys = table.len(&mut th)?;
     drop(th);
+    m.shutdown()?;
+
+    // Reopen under the asynchronous truncation regime and read back: the
+    // committed state must be identical whichever regime wrote it.
+    let m = Mnemosyne::builder(&dir)
+        .scm_size(32 << 20)
+        .truncation(Truncation::Async)
+        .open()?;
+    let mut th = m.register_thread()?;
+    let table = PHashTable::open(&m, &mut th, "kv", 256)?;
+    assert_eq!(
+        table.len(&mut th)?,
+        keys,
+        "async reopen must see the same committed keys"
+    );
+    drop(th);
+
+    let snap = mnemosyne_scm::obs::Telemetry::process_snapshot();
+    let json = snap.to_json_with(&[("experiment", "persistent_kv"), ("scale", "quick")]);
+    let sidecar = dir.join("telemetry.json");
+    std::fs::write(&sidecar, &json)?;
+    println!("telemetry: {}", sidecar.display());
+
     m.shutdown()?;
     Ok(())
 }

@@ -10,14 +10,26 @@
 //! static persistent region, initialised to zero the first time the
 //! program runs, and retaining its value across invocations. The update
 //! is a durable memory transaction, so a crash can never half-apply it.
+//!
+//! Each run exercises *both* §5 truncation regimes — the bump happens
+//! under synchronous truncation, then the store is reopened under
+//! asynchronous truncation (log-manager thread) and read back — and
+//! writes the machine-readable telemetry sidecar next to the state files,
+//! so the example doubles as a smoke test for the commit path.
 
-use mnemosyne::Mnemosyne;
+use mnemosyne::{Mnemosyne, Truncation};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Backing files (the SCM image and region files) live here — the
     // analogue of MNEMOSYNE_REGION_PATH.
     let dir = std::env::temp_dir().join("mnemosyne-quickstart");
-    let m = Mnemosyne::builder(&dir).scm_size(16 << 20).open()?;
+
+    // Phase 1 — synchronous truncation: the committing thread forces its
+    // data and truncates its own redo log.
+    let m = Mnemosyne::builder(&dir)
+        .scm_size(16 << 20)
+        .truncation(Truncation::Sync)
+        .open()?;
 
     // `pstatic`: a named persistent variable, like
     //     pstatic uint64_t runs;
@@ -29,13 +41,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tx.write_u64(runs, n + 1)?;
         Ok(n + 1)
     })?;
-
     println!("this program has now run {count} time(s)");
-    println!("(state in {})", dir.display());
 
     drop(th);
     // Orderly power-down: save the machine's SCM image so the next run
-    // resumes from it.
+    // (and the async phase below) resumes from it.
+    m.shutdown()?;
+
+    // Phase 2 — asynchronous truncation: a log-manager thread drains the
+    // redo logs off the commit critical path. Reopen the same state and
+    // read the counter back through it.
+    let m = Mnemosyne::builder(&dir)
+        .scm_size(16 << 20)
+        .truncation(Truncation::Async)
+        .open()?;
+    let runs = m.pstatic("runs", 8)?;
+    let mut th = m.register_thread()?;
+    let check = th.atomic(|tx| tx.read_u64(runs))?;
+    assert_eq!(check, count, "async reopen must see the committed bump");
+    println!("reopened under async truncation: counter still {check}");
+    drop(th);
+
+    // The machine-readable telemetry of both phases (see METRICS.md).
+    let snap = mnemosyne_scm::obs::Telemetry::process_snapshot();
+    let json = snap.to_json_with(&[("experiment", "quickstart"), ("scale", "quick")]);
+    let sidecar = dir.join("telemetry.json");
+    std::fs::write(&sidecar, &json)?;
+    println!("telemetry: {}", sidecar.display());
+    println!("(state in {})", dir.display());
+
     m.shutdown()?;
     Ok(())
 }

@@ -1,0 +1,363 @@
+//! Crash-point sweeps and concurrency tests for the batched commit path:
+//! group data fences, watermark (incremental) truncation, and the
+//! adaptive contention manager.
+//!
+//! The PR-1 sweep driver re-runs a workload crashing at every strided
+//! durability primitive; here the workloads are shaped so that the crash
+//! windows *specific to the new pipeline* are covered:
+//!
+//! * between a commit's group-covered data fence and its (possibly
+//!   skipped) watermark truncation — committed records linger in the log
+//!   and recovery must replay them idempotently;
+//! * inside the log manager's incremental drain — the watermark may have
+//!   advanced past some records of a pass but not others;
+//! * multi-word transactions must stay atomic across all of it: the
+//!   invariant is always "every cell carries the same value".
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+
+use mnemosyne::{crash_sweep, CrashPolicy, Error, Mnemosyne, ScmConfig, SweepConfig, Truncation};
+
+fn dir(tag: &str) -> PathBuf {
+    static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!("it-cscale-{tag}-{}-{n}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// Workload: `rounds` transactions, each writing the same round number
+/// into `width` adjacent cells. At every instant the committed state has
+/// all cells equal; a torn transaction (some cells old, some new) after
+/// recovery is exactly the redo-replay bug the sweep hunts.
+fn wide_bump_workload(m: &Mnemosyne, width: u64, rounds: u64) -> Result<(), Error> {
+    let cells = m.pstatic("wide", width * 8)?;
+    let mut th = m.register_thread()?;
+    for r in 1..=rounds {
+        th.atomic(|tx| {
+            for j in 0..width {
+                tx.write_u64(cells.add(j * 8), r)?;
+            }
+            Ok(())
+        })?;
+    }
+    Ok(())
+}
+
+/// Invariant: all cells equal, value within the rounds ever written.
+fn check_wide(m: &Mnemosyne, width: u64, rounds: u64) -> Result<(), String> {
+    let cells = m.pstatic("wide", width * 8).map_err(|e| e.to_string())?;
+    let mut th = m.register_thread().map_err(|e| e.to_string())?;
+    let vals: Vec<u64> = th
+        .atomic(|tx| {
+            (0..width)
+                .map(|j| tx.read_u64(cells.add(j * 8)))
+                .collect::<Result<_, _>>()
+        })
+        .map_err(|e| e.to_string())?;
+    let first = vals[0];
+    if vals.iter().any(|&v| v != first) {
+        return Err(format!("torn transaction visible after recovery: {vals:?}"));
+    }
+    if first > rounds {
+        return Err(format!("cell value {first} exceeds {rounds} rounds"));
+    }
+    Ok(())
+}
+
+/// Sync mode with a small log and the default occupancy threshold: the
+/// workload crosses the watermark-truncation point several times, so the
+/// sweep crashes inside every window of the pipelined commit — after the
+/// data fence but before truncation, right after a truncation, and in
+/// the commits in between (whose records linger in the log for recovery
+/// to replay). Includes a mid-recovery double-crash pass.
+#[test]
+fn sync_batched_commit_survives_crash_sweep() {
+    let d = dir("sync");
+    let width = 4u64;
+    let rounds = 15u64;
+    let cfg = SweepConfig {
+        max_points: 20,
+        recovery_points: 2,
+        policy: CrashPolicy::DropAll,
+        keep_failing_dirs: false,
+    };
+    let report = crash_sweep(
+        &d,
+        &cfg,
+        |p: &Path| {
+            Mnemosyne::builder(p)
+                .scm_config(ScmConfig::virtual_clock(8 << 20))
+                .truncation(Truncation::Sync)
+                .log_words(256)
+        },
+        |m| wide_bump_workload(m, width, rounds),
+        |m| check_wide(m, width, rounds),
+    )
+    .unwrap();
+    assert!(report.passed(), "failures: {:?}", report.failures);
+    assert!(report.crashes_fired > 0);
+    assert!(report.recovery_points_tested > 0);
+    std::fs::remove_dir_all(&d).ok();
+}
+
+/// Async mode with a log so small the producer outruns the manager: the
+/// sweep crashes inside the manager's *incremental* drain, where the
+/// durable watermark has advanced past part of a pass — recovery must
+/// replay exactly the surviving suffix, never a torn record.
+#[test]
+fn async_incremental_truncation_survives_crash_sweep() {
+    let d = dir("async");
+    let width = 12u64;
+    let rounds = 10u64;
+    let cfg = SweepConfig {
+        max_points: 16,
+        recovery_points: 0,
+        policy: CrashPolicy::DropAll,
+        keep_failing_dirs: false,
+    };
+    let report = crash_sweep(
+        &d,
+        &cfg,
+        |p: &Path| {
+            Mnemosyne::builder(p)
+                .scm_config(ScmConfig::virtual_clock(8 << 20))
+                .truncation(Truncation::Async)
+                .log_words(128)
+        },
+        |m| wide_bump_workload(m, width, rounds),
+        |m| check_wide(m, width, rounds),
+    )
+    .unwrap();
+    assert!(report.passed(), "failures: {:?}", report.failures);
+    assert!(report.crashes_fired > 0);
+    std::fs::remove_dir_all(&d).ok();
+}
+
+/// Concurrent disjoint commits under group fencing: every thread's
+/// counter must survive an abrupt crash with exactly its committed
+/// count, and the group-fence accounting identity must hold.
+#[test]
+fn group_commit_is_durable_and_accounted() {
+    let d = dir("group");
+    let threads = 4usize;
+    let bumps = 30u64;
+    let m = Arc::new(
+        Mnemosyne::builder(&d)
+            .scm_config(ScmConfig::virtual_clock(16 << 20))
+            .truncation(Truncation::Sync)
+            .max_threads(8)
+            .open()
+            .unwrap(),
+    );
+    let cells = m.pstatic("percpu", threads as u64 * 8).unwrap();
+    let barrier = Arc::new(Barrier::new(threads));
+    let joins: Vec<_> = (0..threads)
+        .map(|t| {
+            let m = Arc::clone(&m);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut th = m.register_thread().unwrap();
+                let cell = cells.add(t as u64 * 8);
+                barrier.wait();
+                for _ in 0..bumps {
+                    th.atomic(|tx| {
+                        let v = tx.read_u64(cell)?;
+                        tx.write_u64(cell, v + 1)?;
+                        Ok(())
+                    })
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    // Identity: every sync update commit either led a group fence or
+    // piggybacked on one. (`pstatic` also commits an update transaction
+    // when it registers a slot, hence bounds rather than equality on the
+    // worker count.)
+    let snap = m.telemetry().snapshot();
+    let update_commits = threads as u64 * bumps;
+    let covered = snap.counter("mtm.group_fences") + snap.counter("mtm.piggybacked_commits");
+    assert!(
+        covered >= update_commits,
+        "every worker commit must be fence-covered: {covered} < {update_commits}"
+    );
+    assert!(
+        covered <= snap.counter("mtm.commits"),
+        "covered commits cannot exceed all commits"
+    );
+
+    // Disjoint cells: no conflict episode may end in an abort.
+    assert_eq!(snap.counter("mtm.conflict_aborts"), 0);
+
+    // Abrupt power loss after the last commit: every count must survive
+    // (each commit's data was fenced before its locks were released).
+    let m2 = {
+        let m = Arc::into_inner(m).expect("all workers joined");
+        m.mtm().kill();
+        m.crash_reboot(CrashPolicy::DropAll).unwrap()
+    };
+    let mut th = m2.register_thread().unwrap();
+    let cells = m2.pstatic("percpu", threads as u64 * 8).unwrap();
+    for t in 0..threads {
+        let v = th
+            .atomic(|tx| tx.read_u64(cells.add(t as u64 * 8)))
+            .unwrap();
+        assert_eq!(v, bumps, "thread {t}'s counter lost commits");
+    }
+    drop(th);
+    drop(m2); // release backing files before removing the directory
+    std::fs::remove_dir_all(&d).ok();
+}
+
+/// Bounded backoff resolves a transient conflict by waiting instead of
+/// aborting: a slow writer holds the covering lock while a second thread
+/// runs into it; the second thread must (eventually) commit, and the
+/// conflict episode must be visible in telemetry.
+#[test]
+fn contended_lock_resolves_by_backoff() {
+    let d = dir("backoff");
+    let m = Arc::new(
+        Mnemosyne::builder(&d)
+            .scm_config(ScmConfig::virtual_clock(8 << 20))
+            .truncation(Truncation::Sync)
+            .open()
+            .unwrap(),
+    );
+    let cell = m.pstatic("hot", 8).unwrap();
+    let barrier = Arc::new(Barrier::new(2));
+
+    let slow = {
+        let m = Arc::clone(&m);
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            let mut th = m.register_thread().unwrap();
+            let mut first = true;
+            th.atomic(|tx| {
+                let v = tx.read_u64(cell)?;
+                tx.write_u64(cell, v + 1)?; // lock acquired here
+                if first {
+                    first = false;
+                    barrier.wait(); // release the fast thread…
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                Ok(())
+            })
+            .unwrap();
+        })
+    };
+    let fast = {
+        let m = Arc::clone(&m);
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            let mut th = m.register_thread().unwrap();
+            barrier.wait(); // …into the held lock
+            th.atomic(|tx| {
+                let v = tx.read_u64(cell)?;
+                tx.write_u64(cell, v + 1)?;
+                Ok(())
+            })
+            .unwrap();
+        })
+    };
+    slow.join().unwrap();
+    fast.join().unwrap();
+
+    let mut th = m.register_thread().unwrap();
+    let v = th.atomic(|tx| tx.read_u64(cell)).unwrap();
+    assert_eq!(v, 2, "both increments must commit");
+    let snap = m.telemetry().snapshot();
+    assert!(
+        snap.counter("mtm.lock_conflicts") >= 1,
+        "the contention manager must have seen the conflict"
+    );
+    assert!(
+        snap.counter("mtm.lock_conflicts") >= snap.counter("mtm.conflict_aborts"),
+        "aborted episodes are a subset of conflict episodes"
+    );
+    drop(th);
+    std::fs::remove_dir_all(&d).ok();
+}
+
+/// Sync-mode amortised truncation leaves committed records in the log on
+/// a clean shutdown; reopening must replay them idempotently — same
+/// values, no invariant change — rather than reject or skip them.
+#[test]
+fn lingering_committed_records_replay_idempotently() {
+    let d = dir("linger");
+    let boot = |p: &Path| {
+        Mnemosyne::builder(p)
+            .scm_config(ScmConfig::virtual_clock(8 << 20))
+            .truncation(Truncation::Sync)
+            .log_words(1 << 12)
+    };
+    let m = boot(&d).open().unwrap();
+    let cell = m.pstatic("idem", 8).unwrap();
+    {
+        let mut th = m.register_thread().unwrap();
+        for _ in 0..20u64 {
+            th.atomic(|tx| {
+                let v = tx.read_u64(cell)?;
+                tx.write_u64(cell, v + 1)?;
+                Ok(())
+            })
+            .unwrap();
+        }
+    }
+    // A big log at the default threshold: nothing was truncated, so the
+    // records survive the (clean) crash below and are replayed at open.
+    // (`crash_reboot` reopens with default geometry; rebuild with the
+    // same builder instead, since `log_words` shapes the region size.)
+    let (dir2, img) = m.crash(CrashPolicy::DropAll);
+    let m2 = boot(&dir2).from_image(img).open().unwrap();
+    assert!(
+        m2.mtm().stats().replayed > 0,
+        "lingering committed records should have been replayed"
+    );
+    let cell = m2.pstatic("idem", 8).unwrap();
+    let mut th = m2.register_thread().unwrap();
+    let v = th.atomic(|tx| tx.read_u64(cell)).unwrap();
+    assert_eq!(v, 20, "idempotent replay must not change committed state");
+    drop(th);
+    drop(m2); // release backing files before removing the directory
+    std::fs::remove_dir_all(&d).ok();
+}
+
+/// The watermark-truncation counter actually moves in sync mode once the
+/// log crosses the occupancy threshold (guards against the amortisation
+/// silently never firing — which would look fine until logs filled).
+#[test]
+fn watermark_truncations_fire_past_the_threshold() {
+    let d = dir("wm");
+    let m = Mnemosyne::builder(&d)
+        .scm_config(ScmConfig::virtual_clock(8 << 20))
+        .truncation(Truncation::Sync)
+        .log_words(128)
+        .open()
+        .unwrap();
+    let cell = m.pstatic("wmcell", 8).unwrap();
+    let mut th = m.register_thread().unwrap();
+    for _ in 0..40u64 {
+        th.atomic(|tx| {
+            let v = tx.read_u64(cell)?;
+            tx.write_u64(cell, v + 1)?;
+            Ok(())
+        })
+        .unwrap();
+    }
+    let snap = m.telemetry().snapshot();
+    assert!(
+        snap.counter("mtm.wm_truncations") > 0,
+        "a 128-word log over 40 commits must cross the 50% threshold"
+    );
+    let v = th.atomic(|tx| tx.read_u64(cell)).unwrap();
+    assert_eq!(v, 40);
+    drop(th);
+    std::fs::remove_dir_all(&d).ok();
+}
