@@ -4,8 +4,9 @@
 //! `target/repro/allocscale/telemetry.json` sidecar.
 //!
 //! With `--smoke`, exits non-zero if the best multi-thread throughput
-//! fails to beat the single-thread throughput — the coarse anti-regression
-//! gate CI runs.
+//! fails to beat the single-thread throughput, or if the scaling ratio
+//! regressed more than 10% below the `BENCH_BASELINE_DIR` baseline — the
+//! coarse anti-regression gate CI runs.
 
 fn main() {
     let scale = mnemosyne_bench::Scale::from_env();
@@ -18,31 +19,9 @@ fn main() {
     if !smoke {
         return;
     }
-    // Re-read the just-written datapoints and gate on them, so the smoke
-    // check exercises exactly what trajectory tooling will consume.
-    let path = mnemosyne_bench::exp::allocscale::bench_json_path();
-    let json = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("smoke: cannot read {}: {e}", path.display()));
-    let v = mnemosyne_scm::obs::parse_json(&json).expect("smoke: BENCH_pheap.json must parse");
-    let obj = v.as_obj().expect("smoke: top-level object");
-    let points = obj["points"].as_arr().expect("smoke: points array");
-    let field = |p: &mnemosyne_scm::obs::JsonValue, k: &str| {
-        p.as_obj().and_then(|o| o.get(k)).and_then(|x| x.as_u64())
-    };
-    let single = points
-        .iter()
-        .find(|p| field(p, "threads") == Some(1))
-        .and_then(|p| field(p, "ops_per_vsec"))
-        .expect("smoke: 1-thread point");
-    let multi = points
-        .iter()
-        .filter(|p| field(p, "threads").unwrap_or(0) > 1)
-        .filter_map(|p| field(p, "ops_per_vsec"))
-        .max()
-        .expect("smoke: multi-thread point");
-    println!("smoke: single-thread {single} ops/vsec, best multi-thread {multi} ops/vsec");
-    if multi < single {
-        eprintln!("smoke FAILED: multi-thread throughput dropped below single-thread");
+    let gate = mnemosyne_bench::gate::gate_for("allocscale").expect("allocscale gate");
+    if let Err(why) = gate.enforce_repo_root() {
+        eprintln!("smoke FAILED: {why}");
         std::process::exit(1);
     }
     println!("smoke OK");

@@ -1,0 +1,25 @@
+//! KV-service scaling bench: acknowledged requests per virtual second
+//! for a live `mnemosyned` service at 1/2/4/8 batcher workers, driven by
+//! 8 pipelined loopback TCP clients. Emits `BENCH_svc.json` at the
+//! repository root and the standard `target/repro/kvscale/telemetry.json`
+//! sidecar.
+//!
+//! With `--smoke`, exits non-zero unless 4-worker batched write
+//! throughput reaches at least 2× the single-worker throughput (the
+//! group-commit dividend), or if the scaling ratio regressed more than
+//! 10% below the `BENCH_BASELINE_DIR` baseline.
+
+fn main() {
+    let scale = mnemosyne_bench::Scale::from_env();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    mnemosyne_bench::util::run_experiment("kvscale", scale, mnemosyne_bench::exp::kvscale::run);
+    if !smoke {
+        return;
+    }
+    let gate = mnemosyne_bench::gate::gate_for("kvscale").expect("kvscale gate");
+    if let Err(why) = gate.enforce_repo_root() {
+        eprintln!("smoke FAILED: {why}");
+        std::process::exit(1);
+    }
+    println!("smoke OK");
+}

@@ -1,34 +1,69 @@
-//! Runs the full experiment suite: every table and figure of §6.
+//! Runs the full experiment suite: every table and figure of §6, plus
+//! the scaling benches and their smoke gates.
+//!
+//! Unlike a plain script of bench invocations, failures are *contained
+//! and propagated*: each experiment runs under
+//! [`mnemosyne_bench::util::run_experiment_checked`], so one panicking
+//! experiment still lets the rest run, every experiment still writes its
+//! telemetry sidecar, and the process exits non-zero with a per-
+//! experiment pass/fail summary if anything failed. The three scaling
+//! benches additionally run their `--smoke` gates (absolute scaling
+//! floor + optional `BENCH_BASELINE_DIR` regression check).
+
+use mnemosyne_bench::util::run_experiment_checked;
+use mnemosyne_bench::{exp, gate, Scale};
+
+type Experiment = (&'static str, fn(Scale));
 
 fn main() {
-    let scale = mnemosyne_bench::Scale::from_env();
-    mnemosyne_bench::util::run_experiment("table1", scale, mnemosyne_bench::exp::table1::run);
-    mnemosyne_bench::util::run_experiment("table4", scale, mnemosyne_bench::exp::table4::run);
-    mnemosyne_bench::util::run_experiment("table5", scale, mnemosyne_bench::exp::table5::run);
-    mnemosyne_bench::util::run_experiment("table6", scale, mnemosyne_bench::exp::table6::run);
-    mnemosyne_bench::util::run_experiment("fig4", scale, mnemosyne_bench::exp::fig4::run);
-    mnemosyne_bench::util::run_experiment("fig5", scale, mnemosyne_bench::exp::fig5::run);
-    mnemosyne_bench::util::run_experiment("fig6", scale, mnemosyne_bench::exp::fig6::run);
-    mnemosyne_bench::util::run_experiment("fig7", scale, mnemosyne_bench::exp::fig7::run);
-    mnemosyne_bench::util::run_experiment(
-        "microcosts",
-        scale,
-        mnemosyne_bench::exp::microcosts::run,
+    let scale = Scale::from_env();
+    let suite: Vec<Experiment> = vec![
+        ("table1", exp::table1::run),
+        ("table4", exp::table4::run),
+        ("table5", exp::table5::run),
+        ("table6", exp::table6::run),
+        ("fig4", exp::fig4::run),
+        ("fig5", exp::fig5::run),
+        ("fig6", exp::fig6::run),
+        ("fig7", exp::fig7::run),
+        ("microcosts", exp::microcosts::run),
+        ("reincarnation", exp::reincarnation::run),
+        ("reliability", exp::reliability::run),
+        ("allocscale", exp::allocscale::run),
+        ("txscale", exp::txscale::run),
+        ("kvscale", exp::kvscale::run),
+    ];
+
+    let mut results: Vec<(String, Result<(), String>)> = Vec::new();
+    for (name, run) in suite {
+        let mut outcome = run_experiment_checked(name, scale, run);
+        // Scaling benches carry a smoke gate; a bench that ran but no
+        // longer scales is as much a failure as one that panicked.
+        if outcome.is_ok() {
+            if let Some(g) = gate::gate_for(name) {
+                outcome = g.enforce_repo_root();
+            }
+        }
+        results.push((name.to_string(), outcome));
+    }
+
+    println!("\n=== repro_all summary ===");
+    let mut failed = 0;
+    for (name, outcome) in &results {
+        match outcome {
+            Ok(()) => println!("  PASS  {name}"),
+            Err(why) => {
+                failed += 1;
+                println!("  FAIL  {name}: {why}");
+            }
+        }
+    }
+    println!(
+        "{} experiments, {} passed, {failed} failed",
+        results.len(),
+        results.len() - failed
     );
-    mnemosyne_bench::util::run_experiment(
-        "reincarnation",
-        scale,
-        mnemosyne_bench::exp::reincarnation::run,
-    );
-    mnemosyne_bench::util::run_experiment(
-        "reliability",
-        scale,
-        mnemosyne_bench::exp::reliability::run,
-    );
-    mnemosyne_bench::util::run_experiment(
-        "allocscale",
-        scale,
-        mnemosyne_bench::exp::allocscale::run,
-    );
-    mnemosyne_bench::util::run_experiment("txscale", scale, mnemosyne_bench::exp::txscale::run);
+    if failed > 0 {
+        std::process::exit(1);
+    }
 }

@@ -5,8 +5,9 @@
 //! sidecar.
 //!
 //! With `--smoke`, exits non-zero if 4-thread disjoint commit throughput
-//! drops below single-thread throughput — the anti-regression gate CI
-//! runs over the commit pipeline.
+//! drops below single-thread throughput, or if the scaling ratio
+//! regressed more than 10% below the `BENCH_BASELINE_DIR` baseline — the
+//! anti-regression gate CI runs over the commit pipeline.
 
 fn main() {
     let scale = mnemosyne_bench::Scale::from_env();
@@ -15,28 +16,9 @@ fn main() {
     if !smoke {
         return;
     }
-    // Re-read the just-written datapoints and gate on them, so the smoke
-    // check exercises exactly what trajectory tooling will consume.
-    let path = mnemosyne_bench::exp::txscale::bench_json_path();
-    let json = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("smoke: cannot read {}: {e}", path.display()));
-    let v = mnemosyne_scm::obs::parse_json(&json).expect("smoke: BENCH_mtm.json must parse");
-    let obj = v.as_obj().expect("smoke: top-level object");
-    let points = obj["disjoint"].as_arr().expect("smoke: disjoint array");
-    let field = |p: &mnemosyne_scm::obs::JsonValue, k: &str| {
-        p.as_obj().and_then(|o| o.get(k)).and_then(|x| x.as_u64())
-    };
-    let at = |n: u64| {
-        points
-            .iter()
-            .find(|p| field(p, "threads") == Some(n))
-            .and_then(|p| field(p, "tx_per_vsec"))
-            .unwrap_or_else(|| panic!("smoke: {n}-thread point"))
-    };
-    let (single, four) = (at(1), at(4));
-    println!("smoke: disjoint 1-thread {single} tx/vsec, 4-thread {four} tx/vsec");
-    if four < single {
-        eprintln!("smoke FAILED: 4-thread disjoint throughput dropped below single-thread");
+    let gate = mnemosyne_bench::gate::gate_for("txscale").expect("txscale gate");
+    if let Err(why) = gate.enforce_repo_root() {
+        eprintln!("smoke FAILED: {why}");
         std::process::exit(1);
     }
     println!("smoke OK");

@@ -6,6 +6,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod hashbench;
+pub mod kvscale;
 pub mod microcosts;
 pub mod reincarnation;
 pub mod reliability;

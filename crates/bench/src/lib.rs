@@ -15,6 +15,8 @@
 #![warn(missing_docs)]
 
 pub mod exp;
+pub mod gate;
 pub mod util;
 
+pub use gate::ScalingGate;
 pub use util::{Scale, TestRig};

@@ -174,6 +174,34 @@ pub fn run_experiment(name: &str, scale: Scale, f: impl FnOnce(Scale)) {
     }
 }
 
+/// Like [`run_experiment`], but contains the experiment's failures
+/// instead of letting them take down the whole suite: a panic inside `f`
+/// is caught and reported as `Err`. The telemetry sidecar is written
+/// either way — a partial sidecar is exactly what you want when
+/// diagnosing the failure.
+///
+/// # Errors
+/// The experiment's panic message.
+pub fn run_experiment_checked(
+    name: &str,
+    scale: Scale,
+    f: impl FnOnce(Scale),
+) -> Result<(), String> {
+    let mut result = Ok(());
+    run_experiment(name, scale, |scale| {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(scale)));
+        if let Err(payload) = outcome {
+            let why = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            result = Err(format!("{name}: {why}"));
+        }
+    });
+    result
+}
+
 /// Prints an experiment banner.
 pub fn banner(title: &str, scale: Scale) {
     println!();

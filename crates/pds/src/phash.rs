@@ -17,6 +17,10 @@ use mnemosyne::{Mnemosyne, TxAbort, TxError, TxThread, VAddr};
 const HDR_BUCKETS: u64 = 0; // offset of bucket count in table header
 const HDR_ARRAY: u64 = 8; // offset of bucket array
 
+/// Key–value pairs returned by [`PHashTable::scan_prefix`], in bucket
+/// order.
+pub type ScanEntries = Vec<(Vec<u8>, Vec<u8>)>;
+
 fn hash_key(key: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in key {
@@ -106,24 +110,37 @@ impl PHashTable {
     /// # Errors
     /// Propagates transaction/heap failures.
     pub fn put(&self, th: &mut TxThread, key: &[u8], value: &[u8]) -> Result<(), TxError> {
-        let root_cell = self.root_cell;
-        th.atomic(|tx| {
-            let bucket = Self::bucket_addr(tx, root_cell, key)?;
-            if let Some((link, node)) = Self::find_in_chain(tx, bucket, key)? {
-                let next = tx.read_u64(node)?;
-                tx.write_u64(link, next)?;
-                tx.pfree(node);
-            }
-            let node = tx.pmalloc(24 + pad8(key.len()) + pad8(value.len()))?;
-            let head = tx.read_u64(bucket)?;
-            tx.write_u64(node, head)?;
-            tx.write_u64(node.add(8), key.len() as u64)?;
-            tx.write_u64(node.add(16), value.len() as u64)?;
-            tx.write_bytes(node.add(24), key)?;
-            tx.write_bytes(node.add(24 + pad8(key.len())), value)?;
-            tx.write_u64(bucket, node.0)?;
-            Ok(())
-        })
+        let this = *self;
+        th.atomic(|tx| this.put_in(tx, key, value))
+    }
+
+    /// Inserts or replaces `key → value` inside an already-open
+    /// transaction — the building block request batchers use to fold many
+    /// mutations into a single durable commit.
+    ///
+    /// # Errors
+    /// Propagates transaction/heap aborts to the enclosing `atomic`.
+    pub fn put_in(
+        &self,
+        tx: &mut mnemosyne::Tx<'_>,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(), TxAbort> {
+        let bucket = Self::bucket_addr(tx, self.root_cell, key)?;
+        if let Some((link, node)) = Self::find_in_chain(tx, bucket, key)? {
+            let next = tx.read_u64(node)?;
+            tx.write_u64(link, next)?;
+            tx.pfree(node);
+        }
+        let node = tx.pmalloc(24 + pad8(key.len()) + pad8(value.len()))?;
+        let head = tx.read_u64(bucket)?;
+        tx.write_u64(node, head)?;
+        tx.write_u64(node.add(8), key.len() as u64)?;
+        tx.write_u64(node.add(16), value.len() as u64)?;
+        tx.write_bytes(node.add(24), key)?;
+        tx.write_bytes(node.add(24 + pad8(key.len())), value)?;
+        tx.write_u64(bucket, node.0)?;
+        Ok(())
     }
 
     /// Removes `key`, returning whether it was present.
@@ -131,19 +148,26 @@ impl PHashTable {
     /// # Errors
     /// Propagates transaction failures.
     pub fn remove(&self, th: &mut TxThread, key: &[u8]) -> Result<bool, TxError> {
-        let root_cell = self.root_cell;
-        th.atomic(|tx| {
-            let bucket = Self::bucket_addr(tx, root_cell, key)?;
-            match Self::find_in_chain(tx, bucket, key)? {
-                Some((link, node)) => {
-                    let next = tx.read_u64(node)?;
-                    tx.write_u64(link, next)?;
-                    tx.pfree(node);
-                    Ok(true)
-                }
-                None => Ok(false),
+        let this = *self;
+        th.atomic(|tx| this.remove_in(tx, key))
+    }
+
+    /// Removes `key` inside an already-open transaction, returning whether
+    /// it was present.
+    ///
+    /// # Errors
+    /// Propagates transaction aborts to the enclosing `atomic`.
+    pub fn remove_in(&self, tx: &mut mnemosyne::Tx<'_>, key: &[u8]) -> Result<bool, TxAbort> {
+        let bucket = Self::bucket_addr(tx, self.root_cell, key)?;
+        match Self::find_in_chain(tx, bucket, key)? {
+            Some((link, node)) => {
+                let next = tx.read_u64(node)?;
+                tx.write_u64(link, next)?;
+                tx.pfree(node);
+                Ok(true)
             }
-        })
+            None => Ok(false),
+        }
     }
 
     /// Looks up `key`.
@@ -151,20 +175,82 @@ impl PHashTable {
     /// # Errors
     /// Propagates transaction failures.
     pub fn get(&self, th: &mut TxThread, key: &[u8]) -> Result<Option<Vec<u8>>, TxError> {
-        let root_cell = self.root_cell;
-        th.atomic(|tx| {
-            let bucket = Self::bucket_addr(tx, root_cell, key)?;
-            match Self::find_in_chain(tx, bucket, key)? {
-                Some((_, node)) => {
-                    let klen = tx.read_u64(node.add(8))? as usize;
-                    let vlen = tx.read_u64(node.add(16))? as usize;
-                    let mut v = vec![0u8; vlen];
-                    tx.read_bytes(node.add(24 + pad8(klen)), &mut v)?;
-                    Ok(Some(v))
-                }
-                None => Ok(None),
+        let this = *self;
+        th.atomic(|tx| this.get_in(tx, key))
+    }
+
+    /// Looks up `key` inside an already-open transaction.
+    ///
+    /// # Errors
+    /// Propagates transaction aborts to the enclosing `atomic`.
+    pub fn get_in(
+        &self,
+        tx: &mut mnemosyne::Tx<'_>,
+        key: &[u8],
+    ) -> Result<Option<Vec<u8>>, TxAbort> {
+        let bucket = Self::bucket_addr(tx, self.root_cell, key)?;
+        match Self::find_in_chain(tx, bucket, key)? {
+            Some((_, node)) => {
+                let klen = tx.read_u64(node.add(8))? as usize;
+                let vlen = tx.read_u64(node.add(16))? as usize;
+                let mut v = vec![0u8; vlen];
+                tx.read_bytes(node.add(24 + pad8(klen)), &mut v)?;
+                Ok(Some(v))
             }
-        })
+            None => Ok(None),
+        }
+    }
+
+    /// Collects up to `limit` entries whose key starts with `prefix`
+    /// (`limit == 0` means unlimited). Walks every chain, so the result
+    /// order is bucket order, not key order.
+    ///
+    /// # Errors
+    /// Propagates transaction failures.
+    pub fn scan_prefix(
+        &self,
+        th: &mut TxThread,
+        prefix: &[u8],
+        limit: usize,
+    ) -> Result<ScanEntries, TxError> {
+        let this = *self;
+        th.atomic(|tx| this.scan_prefix_in(tx, prefix, limit))
+    }
+
+    /// [`PHashTable::scan_prefix`] inside an already-open transaction.
+    ///
+    /// # Errors
+    /// Propagates transaction aborts to the enclosing `atomic`.
+    pub fn scan_prefix_in(
+        &self,
+        tx: &mut mnemosyne::Tx<'_>,
+        prefix: &[u8],
+        limit: usize,
+    ) -> Result<ScanEntries, TxAbort> {
+        let table = VAddr(tx.read_u64(self.root_cell)?);
+        let buckets = tx.read_u64(table.add(HDR_BUCKETS))?;
+        let mut out = Vec::new();
+        for b in 0..buckets {
+            let mut node = VAddr(tx.read_u64(table.add(HDR_ARRAY + b * 8))?);
+            while !node.is_null() {
+                if limit != 0 && out.len() >= limit {
+                    return Ok(out);
+                }
+                let klen = tx.read_u64(node.add(8))? as usize;
+                if klen >= prefix.len() {
+                    let mut k = vec![0u8; klen];
+                    tx.read_bytes(node.add(24), &mut k)?;
+                    if k.starts_with(prefix) {
+                        let vlen = tx.read_u64(node.add(16))? as usize;
+                        let mut v = vec![0u8; vlen];
+                        tx.read_bytes(node.add(24 + pad8(klen)), &mut v)?;
+                        out.push((k, v));
+                    }
+                }
+                node = VAddr(tx.read_u64(node)?);
+            }
+        }
+        Ok(out)
     }
 
     /// Number of entries (walks every chain; diagnostics only).
@@ -278,6 +364,51 @@ mod tests {
         }
         let mut th = m.register_thread().unwrap();
         assert_eq!(h.len(&mut th).unwrap(), 400);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn scan_prefix_filters_and_limits() {
+        let d = dir("scan");
+        let m = Mnemosyne::builder(&d).scm_size(32 << 20).open().unwrap();
+        let mut th = m.register_thread().unwrap();
+        let h = PHashTable::open(&m, &mut th, "tbl", 16).unwrap();
+        for i in 0..20u8 {
+            h.put(&mut th, &[b'a', i], &[i]).unwrap();
+        }
+        h.put(&mut th, b"zzz", b"other").unwrap();
+        let all = h.scan_prefix(&mut th, b"a", 0).unwrap();
+        assert_eq!(all.len(), 20);
+        assert!(all.iter().all(|(k, v)| k[0] == b'a' && v == &vec![k[1]]));
+        let capped = h.scan_prefix(&mut th, b"a", 7).unwrap();
+        assert_eq!(capped.len(), 7);
+        let none = h.scan_prefix(&mut th, b"nope", 0).unwrap();
+        assert!(none.is_empty());
+        let everything = h.scan_prefix(&mut th, b"", 0).unwrap();
+        assert_eq!(everything.len(), 21);
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn batched_ops_in_one_transaction() {
+        let d = dir("batch");
+        let m = Mnemosyne::builder(&d).scm_size(32 << 20).open().unwrap();
+        let mut th = m.register_thread().unwrap();
+        let h = PHashTable::open(&m, &mut th, "tbl", 16).unwrap();
+        let commits_before = m.mtm().stats().commits;
+        // Ten puts and a removal as ONE durable transaction.
+        th.atomic(|tx| {
+            for i in 0..10u64 {
+                h.put_in(tx, &i.to_le_bytes(), &[i as u8; 16])?;
+            }
+            assert!(h.remove_in(tx, &3u64.to_le_bytes())?);
+            assert_eq!(h.get_in(tx, &4u64.to_le_bytes())?, Some(vec![4u8; 16]));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(m.mtm().stats().commits - commits_before, 1);
+        assert_eq!(h.len(&mut th).unwrap(), 9);
+        assert!(h.get(&mut th, &3u64.to_le_bytes()).unwrap().is_none());
         std::fs::remove_dir_all(&d).ok();
     }
 

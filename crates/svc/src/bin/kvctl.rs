@@ -1,0 +1,98 @@
+//! `kvctl` — one-shot CLI client for `mnemosyned`.
+//!
+//! ```text
+//! kvctl ADDR ping
+//! kvctl ADDR put KEY VALUE
+//! kvctl ADDR get KEY
+//! kvctl ADDR del KEY
+//! kvctl ADDR scan PREFIX [LIMIT]
+//! kvctl ADDR shutdown
+//! ```
+//!
+//! Keys/values are taken as UTF-8 from the command line; `get` prints
+//! the value (lossily) to stdout. Exit code 1 means "not found", 2 a
+//! usage error, >2 an I/O or server failure.
+
+use std::process::ExitCode;
+
+use mnemosyne_svc::Client;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: kvctl ADDR ping | put KEY VALUE | get KEY | del KEY | \
+         scan PREFIX [LIMIT] | shutdown"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(addr), Some(cmd)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("kvctl: cannot connect to {addr}: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let result = match (cmd.as_str(), args.get(2), args.get(3)) {
+        ("ping", None, None) => client.ping().map(|()| {
+            println!("PONG");
+            ExitCode::SUCCESS
+        }),
+        ("put", Some(k), Some(v)) => client.put(k.as_bytes(), v.as_bytes()).map(|()| {
+            println!("OK");
+            ExitCode::SUCCESS
+        }),
+        ("get", Some(k), None) => client.get(k.as_bytes()).map(|v| match v {
+            Some(v) => {
+                println!("{}", String::from_utf8_lossy(&v));
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("kvctl: not found");
+                ExitCode::FAILURE
+            }
+        }),
+        ("del", Some(k), None) => client.del(k.as_bytes()).map(|existed| {
+            if existed {
+                println!("OK");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("kvctl: not found");
+                ExitCode::FAILURE
+            }
+        }),
+        ("scan", Some(p), limit) => {
+            let limit: u32 = match limit.map(|l| l.parse()) {
+                Some(Ok(n)) => n,
+                None => 0,
+                Some(Err(_)) => return usage(),
+            };
+            client.scan(p.as_bytes(), limit).map(|entries| {
+                for (k, v) in entries {
+                    println!(
+                        "{}\t{}",
+                        String::from_utf8_lossy(&k),
+                        String::from_utf8_lossy(&v)
+                    );
+                }
+                ExitCode::SUCCESS
+            })
+        }
+        ("shutdown", None, None) => client.shutdown().map(|()| {
+            println!("OK");
+            ExitCode::SUCCESS
+        }),
+        _ => return usage(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("kvctl: {e}");
+            ExitCode::from(3)
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! `mnemosyned` — the persistent key-value daemon.
+//!
+//! ```text
+//! mnemosyned --dir DATA [--addr 127.0.0.1:7077] [--workers 2]
+//!            [--max-batch 64] [--scm-mb 64]
+//! ```
+//!
+//! First run creates the persistent heap under `--dir`; later runs
+//! resume it (a graceful shutdown — `kvctl ADDR shutdown` — checkpoints
+//! the media image; an abrupt kill is recovered from the redo logs on
+//! the backing files at next boot). The daemon prints
+//! `listening on ADDR` once it is serving.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mnemosyne::Mnemosyne;
+use mnemosyne_svc::{KvServer, KvService, SvcConfig};
+
+struct Args {
+    dir: PathBuf,
+    addr: String,
+    workers: usize,
+    max_batch: usize,
+    scm_mb: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mnemosyned --dir DATA [--addr 127.0.0.1:7077] [--workers 2] \
+         [--max-batch 64] [--scm-mb 64]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        dir: PathBuf::new(),
+        addr: "127.0.0.1:7077".to_string(),
+        workers: 2,
+        max_batch: 64,
+        scm_mb: 64,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--dir" => args.dir = PathBuf::from(val()),
+            "--addr" => args.addr = val(),
+            "--workers" => args.workers = val().parse().unwrap_or_else(|_| usage()),
+            "--max-batch" => args.max_batch = val().parse().unwrap_or_else(|_| usage()),
+            "--scm-mb" => args.scm_mb = val().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if args.dir.as_os_str().is_empty() || args.workers == 0 {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let m = match Mnemosyne::builder(&args.dir)
+        .scm_size(args.scm_mb << 20)
+        .max_threads(args.workers + 2)
+        .open()
+    {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("mnemosyned: cannot open {}: {e}", args.dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let svc = match KvService::start(
+        &m,
+        SvcConfig {
+            workers: args.workers,
+            max_batch: args.max_batch,
+            ..SvcConfig::default()
+        },
+    ) {
+        Ok(svc) => svc,
+        Err(e) => {
+            eprintln!("mnemosyned: cannot start service: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match KvServer::bind(svc.clone(), &args.addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mnemosyned: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.local_addr());
+
+    server.wait_shutdown_requested();
+    eprintln!("mnemosyned: shutdown requested, powering down");
+    server.stop();
+    svc.stop();
+    if let Err(e) = m.shutdown() {
+        eprintln!("mnemosyned: shutdown failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

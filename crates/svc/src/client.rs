@@ -1,0 +1,169 @@
+//! A small blocking client for the `mnemosyned` protocol.
+//!
+//! [`Client`] offers both a synchronous call-per-method surface
+//! ([`Client::get`], [`Client::put`], …) and a split pipelined surface
+//! ([`Client::send`] / [`Client::recv`]) where any number of requests
+//! can be in flight; responses arrive in request order.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{read_response, write_request, ProtoError, Request, Response};
+
+/// A blocking connection to a `mnemosyned` server.
+pub struct Client {
+    r: BufReader<TcpStream>,
+    w: BufWriter<TcpStream>,
+    /// Requests sent but not yet answered.
+    in_flight: usize,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    /// Socket connect failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let r = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            r,
+            w: BufWriter::new(stream),
+            in_flight: 0,
+        })
+    }
+
+    /// Queues a request without waiting for its response (buffered; use
+    /// [`Client::flush`] or [`Client::recv`] to push it out).
+    ///
+    /// # Errors
+    /// Socket write failures.
+    pub fn send(&mut self, req: &Request) -> Result<(), ProtoError> {
+        write_request(&mut self.w, req)?;
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered requests to the socket.
+    ///
+    /// # Errors
+    /// Socket write failures.
+    pub fn flush(&mut self) -> Result<(), ProtoError> {
+        self.w.flush()?;
+        Ok(())
+    }
+
+    /// Receives the next in-order response, flushing first so the
+    /// matching request is actually on the wire.
+    ///
+    /// # Errors
+    /// Socket failures, or the server hanging up mid-response.
+    pub fn recv(&mut self) -> Result<Response, ProtoError> {
+        self.w.flush()?;
+        match read_response(&mut self.r)? {
+            Some(resp) => {
+                self.in_flight = self.in_flight.saturating_sub(1);
+                Ok(resp)
+            }
+            None => Err(ProtoError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+        }
+    }
+
+    /// Requests sent but not yet answered on this connection.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ProtoError> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    /// Socket/protocol failures.
+    pub fn ping(&mut self) -> Result<(), ProtoError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    /// Socket/protocol failures or a server-side error reply.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, ProtoError> {
+        match self.call(&Request::Get(key.to_vec()))? {
+            Response::Value(v) => Ok(Some(v)),
+            Response::NotFound => Ok(None),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Durably stores `key = value`; when this returns `Ok` the write is
+    /// committed on the server.
+    ///
+    /// # Errors
+    /// Socket/protocol failures or a server-side error reply.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), ProtoError> {
+        match self.call(&Request::Put(key.to_vec(), value.to_vec()))? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Durably removes `key`; `Ok(true)` when it existed.
+    ///
+    /// # Errors
+    /// Socket/protocol failures or a server-side error reply.
+    pub fn del(&mut self, key: &[u8]) -> Result<bool, ProtoError> {
+        match self.call(&Request::Del(key.to_vec()))? {
+            Response::Ok => Ok(true),
+            Response::NotFound => Ok(false),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Lists up to `limit` entries whose key starts with `prefix`
+    /// (0 = unlimited).
+    ///
+    /// # Errors
+    /// Socket/protocol failures or a server-side error reply.
+    #[allow(clippy::type_complexity)]
+    pub fn scan(
+        &mut self,
+        prefix: &[u8],
+        limit: u32,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, ProtoError> {
+        match self.call(&Request::Scan(prefix.to_vec(), limit))? {
+            Response::Entries(entries) => Ok(entries),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the daemon to power down gracefully (checkpoint + save the
+    /// media image).
+    ///
+    /// # Errors
+    /// Socket/protocol failures or a server-side error reply.
+    pub fn shutdown(&mut self) -> Result<(), ProtoError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> ProtoError {
+    let msg = match resp {
+        Response::Err(e) => format!("server error: {e}"),
+        other => format!("unexpected response: {other:?}"),
+    };
+    ProtoError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, msg))
+}

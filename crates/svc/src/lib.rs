@@ -1,0 +1,43 @@
+//! `mnemosyned`: a persistent key-value service over the Mnemosyne
+//! stack.
+//!
+//! This crate is the serving tier of the reproduction — the layer the
+//! paper's "applications" section gestures at but never builds. It
+//! answers the question *what does Mnemosyne buy a real server?* by
+//! fronting the persistent hash table ([`mnemosyne_pds::PHashTable`])
+//! with a network service whose durability story is exactly the stack's:
+//! an acknowledged write has a committed redo record on SCM, full stop.
+//!
+//! Three pieces:
+//!
+//! - [`proto`] — a length-prefixed binary framing
+//!   (`[len u32][opcode u8][body]`) with GET/PUT/DEL/SCAN/PING/SHUTDOWN
+//!   requests. Decoding is total: truncated, oversized, or garbage bytes
+//!   yield typed [`proto::FrameError`]s, never panics.
+//! - [`service`] — the group-commit batcher. Requests queue centrally;
+//!   each worker drains up to a batch and runs the whole batch in ONE
+//!   durable transaction, so N writes share one redo-append fence, and
+//!   concurrent workers further share post-writeback data fences through
+//!   the mtm commit groups.
+//! - [`server`]/[`client`] — a threaded TCP front end with per-connection
+//!   pipelining (many requests in flight, responses in request order),
+//!   and the matching blocking client.
+//!
+//! Telemetry: `svc.requests`, `svc.conns`, `svc.recoveries`,
+//! `svc.batch_size`, `svc.request_ns` (see METRICS.md).
+//!
+//! Binaries: `mnemosyned` (the daemon) and `kvctl` (a one-shot CLI
+//! client). A killed daemon loses nothing acknowledged: restart with the
+//! same `--dir` and recovery replays the logs.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use client::Client;
+pub use proto::{FrameError, ProtoError, Request, Response};
+pub use server::KvServer;
+pub use service::{KvService, SvcConfig, Ticket};

@@ -1,0 +1,521 @@
+//! The `mnemosyned` wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! [len: u32 LE] [opcode: u8] [body: len-1 bytes]
+//! ```
+//!
+//! `len` counts the opcode plus body and is bounded by [`MAX_FRAME`], so
+//! a hostile or corrupt peer cannot make the server allocate unbounded
+//! memory. Variable-length fields inside a body are `u32 LE` lengths
+//! followed by raw bytes. Multi-frame pipelining is the norm: a client
+//! may write any number of request frames before reading responses, and
+//! the server answers strictly in request order per connection.
+//!
+//! Decoding never panics on hostile input: every malformed shape maps to
+//! a typed [`FrameError`] (property-tested in `tests/proto_props.rs`).
+
+use std::io::{self, Read, Write};
+
+/// Hard upper bound on a frame's declared payload length (opcode + body).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Request opcodes (first payload byte).
+mod op {
+    pub const PING: u8 = 0x01;
+    pub const GET: u8 = 0x02;
+    pub const PUT: u8 = 0x03;
+    pub const DEL: u8 = 0x04;
+    pub const SCAN: u8 = 0x05;
+    pub const SHUTDOWN: u8 = 0x06;
+
+    pub const PONG: u8 = 0x81;
+    pub const OK: u8 = 0x82;
+    pub const NOT_FOUND: u8 = 0x83;
+    pub const VALUE: u8 = 0x84;
+    pub const ENTRIES: u8 = 0x85;
+    pub const ERR: u8 = 0x86;
+}
+
+/// Everything that can be wrong with a frame's bytes. Typed so callers
+/// (and property tests) can distinguish hostile input from I/O failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ends before the declared frame or field does.
+    Truncated {
+        /// Bytes the declared shape requires.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+    },
+    /// The length prefix declares an empty payload (no opcode byte).
+    Empty,
+    /// The opcode byte is not one this protocol defines.
+    UnknownOpcode(u8),
+    /// The body is longer than its opcode's fields account for.
+    TrailingBytes {
+        /// Unconsumed byte count.
+        extra: usize,
+    },
+    /// An error message field is not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { needed, got } => {
+                write!(f, "truncated frame: need {needed} bytes, have {got}")
+            }
+            FrameError::Oversized { len } => {
+                write!(
+                    f,
+                    "oversized frame: {len} bytes exceeds the {MAX_FRAME} cap"
+                )
+            }
+            FrameError::Empty => write!(f, "empty frame payload"),
+            FrameError::UnknownOpcode(b) => write!(f, "unknown opcode {b:#04x}"),
+            FrameError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the last field")
+            }
+            FrameError::BadUtf8 => write!(f, "error message is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A framing failure at the socket level: either the connection broke or
+/// the peer sent a malformed frame.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Malformed frame from the peer.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "I/O error: {e}"),
+            ProtoError::Frame(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+impl From<FrameError> for ProtoError {
+    fn from(e: FrameError) -> Self {
+        ProtoError::Frame(e)
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Look up a key.
+    Get(Vec<u8>),
+    /// Insert or replace a key.
+    Put(Vec<u8>, Vec<u8>),
+    /// Remove a key.
+    Del(Vec<u8>),
+    /// List up to `limit` entries whose key starts with the prefix
+    /// (`0` = no limit beyond the frame cap).
+    Scan(Vec<u8>, u32),
+    /// Ask the daemon to checkpoint and exit gracefully.
+    Shutdown,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// The operation succeeded (PUT, successful DEL, SHUTDOWN).
+    Ok,
+    /// The key was absent (GET, DEL).
+    NotFound,
+    /// The key's value (GET).
+    Value(Vec<u8>),
+    /// Matching key/value pairs (SCAN).
+    Entries(Vec<(Vec<u8>, Vec<u8>)>),
+    /// The request failed; the payload says why.
+    Err(String),
+}
+
+/// Cursor over a frame payload, enforcing bounds on every read.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(FrameError::Oversized { len: usize::MAX })?;
+        if end > self.buf.len() {
+            return Err(FrameError::Truncated {
+                needed: end,
+                got: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, FrameError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::TrailingBytes {
+                extra: self.buf.len() - self.pos,
+            })
+        }
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+/// Wraps an encoded payload in the length prefix.
+fn frame(payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Splits one frame off the front of `buf`: validates the length prefix
+/// and returns `(payload, total_consumed)`.
+fn split_frame(buf: &[u8]) -> Result<(&[u8], usize), FrameError> {
+    if buf.len() < 4 {
+        return Err(FrameError::Truncated {
+            needed: 4,
+            got: buf.len(),
+        });
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized { len });
+    }
+    if len == 0 {
+        return Err(FrameError::Empty);
+    }
+    if buf.len() < 4 + len {
+        return Err(FrameError::Truncated {
+            needed: 4 + len,
+            got: buf.len(),
+        });
+    }
+    Ok((&buf[4..4 + len], 4 + len))
+}
+
+impl Request {
+    /// Serialises to one full frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Request::Ping => p.push(op::PING),
+            Request::Get(k) => {
+                p.push(op::GET);
+                put_bytes(&mut p, k);
+            }
+            Request::Put(k, v) => {
+                p.push(op::PUT);
+                put_bytes(&mut p, k);
+                put_bytes(&mut p, v);
+            }
+            Request::Del(k) => {
+                p.push(op::DEL);
+                put_bytes(&mut p, k);
+            }
+            Request::Scan(prefix, limit) => {
+                p.push(op::SCAN);
+                put_bytes(&mut p, prefix);
+                p.extend_from_slice(&limit.to_le_bytes());
+            }
+            Request::Shutdown => p.push(op::SHUTDOWN),
+        }
+        frame(p)
+    }
+
+    /// Decodes one frame from the front of `buf`, returning the request
+    /// and the bytes consumed (so pipelined frames can follow).
+    ///
+    /// # Errors
+    /// A typed [`FrameError`] for every malformed shape; never panics.
+    pub fn decode(buf: &[u8]) -> Result<(Request, usize), FrameError> {
+        let (payload, used) = split_frame(buf)?;
+        Ok((Self::decode_payload(payload)?, used))
+    }
+
+    /// Decodes a frame payload (the bytes after the length prefix).
+    ///
+    /// # Errors
+    /// A typed [`FrameError`] for every malformed shape; never panics.
+    pub fn decode_payload(payload: &[u8]) -> Result<Request, FrameError> {
+        let mut r = Reader::new(payload);
+        let opcode = r.take(1)?[0];
+        let req = match opcode {
+            op::PING => Request::Ping,
+            op::GET => Request::Get(r.bytes()?),
+            op::PUT => {
+                let k = r.bytes()?;
+                let v = r.bytes()?;
+                Request::Put(k, v)
+            }
+            op::DEL => Request::Del(r.bytes()?),
+            op::SCAN => {
+                let prefix = r.bytes()?;
+                let limit = r.u32()?;
+                Request::Scan(prefix, limit)
+            }
+            op::SHUTDOWN => Request::Shutdown,
+            other => return Err(FrameError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialises to one full frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Response::Pong => p.push(op::PONG),
+            Response::Ok => p.push(op::OK),
+            Response::NotFound => p.push(op::NOT_FOUND),
+            Response::Value(v) => {
+                p.push(op::VALUE);
+                put_bytes(&mut p, v);
+            }
+            Response::Entries(entries) => {
+                p.push(op::ENTRIES);
+                p.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for (k, v) in entries {
+                    put_bytes(&mut p, k);
+                    put_bytes(&mut p, v);
+                }
+            }
+            Response::Err(msg) => {
+                p.push(op::ERR);
+                put_bytes(&mut p, msg.as_bytes());
+            }
+        }
+        frame(p)
+    }
+
+    /// Decodes one frame from the front of `buf`, returning the response
+    /// and the bytes consumed.
+    ///
+    /// # Errors
+    /// A typed [`FrameError`] for every malformed shape; never panics.
+    pub fn decode(buf: &[u8]) -> Result<(Response, usize), FrameError> {
+        let (payload, used) = split_frame(buf)?;
+        Ok((Self::decode_payload(payload)?, used))
+    }
+
+    /// Decodes a frame payload (the bytes after the length prefix).
+    ///
+    /// # Errors
+    /// A typed [`FrameError`] for every malformed shape; never panics.
+    pub fn decode_payload(payload: &[u8]) -> Result<Response, FrameError> {
+        let mut r = Reader::new(payload);
+        let opcode = r.take(1)?[0];
+        let resp = match opcode {
+            op::PONG => Response::Pong,
+            op::OK => Response::Ok,
+            op::NOT_FOUND => Response::NotFound,
+            op::VALUE => Response::Value(r.bytes()?),
+            op::ENTRIES => {
+                let n = r.u32()? as usize;
+                let mut entries = Vec::new();
+                for _ in 0..n {
+                    let k = r.bytes()?;
+                    let v = r.bytes()?;
+                    entries.push((k, v));
+                }
+                Response::Entries(entries)
+            }
+            op::ERR => {
+                let raw = r.bytes()?;
+                let msg = String::from_utf8(raw).map_err(|_| FrameError::BadUtf8)?;
+                Response::Err(msg)
+            }
+            other => return Err(FrameError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Reads one frame payload from a stream. `Ok(None)` is a clean EOF at a
+/// frame boundary (the peer hung up between requests).
+///
+/// # Errors
+/// [`ProtoError::Io`] on transport failure (including EOF mid-frame),
+/// [`ProtoError::Frame`] on a bad length prefix.
+fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "no more frames" from "died mid-frame" by hand: a clean
+    // shutdown ends exactly on a frame boundary.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(ProtoError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame length prefix",
+                )))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(ProtoError::Frame(FrameError::Oversized { len }));
+    }
+    if len == 0 {
+        return Err(ProtoError::Frame(FrameError::Empty));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Reads one request frame; `Ok(None)` on clean EOF.
+///
+/// # Errors
+/// See [`ProtoError`].
+pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, ProtoError> {
+    match read_frame(r)? {
+        Some(payload) => Ok(Some(Request::decode_payload(&payload)?)),
+        None => Ok(None),
+    }
+}
+
+/// Reads one response frame; `Ok(None)` on clean EOF.
+///
+/// # Errors
+/// See [`ProtoError`].
+pub fn read_response(r: &mut impl Read) -> Result<Option<Response>, ProtoError> {
+    match read_frame(r)? {
+        Some(payload) => Ok(Some(Response::decode_payload(&payload)?)),
+        None => Ok(None),
+    }
+}
+
+/// Writes one request frame (no flush; callers batch then flush).
+///
+/// # Errors
+/// Transport failure.
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    w.write_all(&req.encode())
+}
+
+/// Writes one response frame (no flush; callers batch then flush).
+///
+/// # Errors
+/// Transport failure.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    w.write_all(&resp.encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_all_variants() {
+        let cases = [
+            Request::Ping,
+            Request::Get(b"k".to_vec()),
+            Request::Put(b"key".to_vec(), b"value".to_vec()),
+            Request::Del(vec![]),
+            Request::Scan(b"pre".to_vec(), 17),
+            Request::Shutdown,
+        ];
+        for req in cases {
+            let bytes = req.encode();
+            let (back, used) = Request::decode(&bytes).unwrap();
+            assert_eq!(back, req);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_all_variants() {
+        let cases = [
+            Response::Pong,
+            Response::Ok,
+            Response::NotFound,
+            Response::Value(b"v".to_vec()),
+            Response::Entries(vec![(b"a".to_vec(), b"1".to_vec()), (vec![], vec![])]),
+            Response::Err("boom".to_string()),
+        ];
+        for resp in cases {
+            let bytes = resp.encode();
+            let (back, used) = Response::decode(&bytes).unwrap();
+            assert_eq!(back, resp);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn oversized_and_empty_frames_are_typed_errors() {
+        let mut buf = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        buf.push(op::PING);
+        assert!(matches!(
+            Request::decode(&buf),
+            Err(FrameError::Oversized { .. })
+        ));
+        assert_eq!(Request::decode(&0u32.to_le_bytes()), Err(FrameError::Empty));
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_sequence() {
+        let mut buf = Request::Ping.encode();
+        buf.extend(Request::Get(b"x".to_vec()).encode());
+        let (first, used) = Request::decode(&buf).unwrap();
+        assert_eq!(first, Request::Ping);
+        let (second, _) = Request::decode(&buf[used..]).unwrap();
+        assert_eq!(second, Request::Get(b"x".to_vec()));
+    }
+}

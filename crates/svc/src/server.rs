@@ -1,0 +1,194 @@
+//! The TCP front end: accepts connections and pumps framed requests
+//! into a [`KvService`].
+//!
+//! Each connection gets a reader (the connection thread itself) and a
+//! writer thread. The reader decodes frames and submits them to the
+//! batcher without waiting, forwarding each [`Ticket`] to the writer
+//! over a channel; the writer redeems tickets strictly in submission
+//! order. That is the pipelining contract: a client may have any number
+//! of requests in flight and responses always come back in request
+//! order, even though the batcher completes them out of order across
+//! worker threads.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::proto::{read_request, write_response, ProtoError, Request, Response};
+use crate::service::{KvService, Ticket};
+
+struct ServerShared {
+    svc: KvService,
+    stop: AtomicBool,
+    /// Set when a client sends SHUTDOWN (or by [`KvServer::request_shutdown`]);
+    /// the daemon main loop waits on it to begin an orderly power-down.
+    shutdown: Mutex<bool>,
+    shutdown_cv: Condvar,
+    conns: Mutex<Vec<(TcpStream, JoinHandle<()>)>>,
+}
+
+impl ServerShared {
+    fn request_shutdown(&self) {
+        *self.shutdown.lock() = true;
+        self.shutdown_cv.notify_all();
+    }
+}
+
+/// A listening `mnemosyned` server. Dropping it does NOT stop the
+/// threads — call [`KvServer::stop`].
+pub struct KvServer {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl KvServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections on a background thread.
+    ///
+    /// # Errors
+    /// Socket bind failures.
+    pub fn bind(svc: KvService, addr: &str) -> std::io::Result<KvServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            svc,
+            stop: AtomicBool::new(false),
+            shutdown: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(KvServer {
+            shared,
+            local_addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Blocks until some client sends SHUTDOWN or
+    /// [`KvServer::request_shutdown`] is called.
+    pub fn wait_shutdown_requested(&self) {
+        let mut flag = self.shared.shutdown.lock();
+        while !*flag {
+            self.shared.shutdown_cv.wait(&mut flag);
+        }
+    }
+
+    /// Asks the daemon loop to power down, as if a client had sent
+    /// SHUTDOWN.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Stops accepting, force-closes the remaining connections, and joins
+    /// every server thread. The underlying [`KvService`] keeps running —
+    /// stop it separately.
+    pub fn stop(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(j) = self.accept.take() {
+            let _ = j.join();
+        }
+        let conns: Vec<(TcpStream, JoinHandle<()>)> = self.shared.conns.lock().drain(..).collect();
+        for (stream, join) in conns {
+            let _ = stream.shutdown(Shutdown::Both);
+            let _ = join.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.svc.metrics().conns.inc();
+        let handle = match stream.try_clone() {
+            Ok(h) => h,
+            Err(_) => continue,
+        };
+        let join = {
+            let shared = Arc::clone(shared);
+            std::thread::spawn(move || serve_conn(stream, &shared))
+        };
+        shared.conns.lock().push((handle, join));
+    }
+}
+
+fn serve_conn(stream: TcpStream, shared: &Arc<ServerShared>) {
+    let reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let (tx, rx) = mpsc::channel::<Ticket>();
+    let writer = std::thread::spawn(move || write_loop(stream, &rx));
+    read_loop(reader, shared, &tx);
+    drop(tx); // writer drains outstanding tickets, then exits
+    let _ = writer.join();
+}
+
+fn read_loop(
+    mut reader: BufReader<TcpStream>,
+    shared: &Arc<ServerShared>,
+    tx: &mpsc::Sender<Ticket>,
+) {
+    loop {
+        let ticket = match read_request(&mut reader) {
+            Ok(Some(Request::Shutdown)) => {
+                shared.request_shutdown();
+                Ticket::ready(Response::Ok)
+            }
+            Ok(Some(req)) => shared.svc.submit(req),
+            // Clean EOF: the client hung up between frames.
+            Ok(None) => return,
+            Err(ProtoError::Frame(e)) => {
+                // A malformed frame poisons the stream (framing is lost);
+                // answer once, then drop the connection.
+                let _ = tx.send(Ticket::ready(Response::Err(format!("bad frame: {e}"))));
+                return;
+            }
+            Err(ProtoError::Io(_)) => return,
+        };
+        if tx.send(ticket).is_err() {
+            return;
+        }
+    }
+}
+
+fn write_loop(stream: TcpStream, rx: &mpsc::Receiver<Ticket>) {
+    let mut w = BufWriter::new(stream);
+    while let Ok(first) = rx.recv() {
+        // Write responses back-to-back while more tickets are already
+        // queued, then flush once — the syscall-batching half of
+        // pipelining.
+        let mut ticket = first;
+        loop {
+            let resp = ticket.wait();
+            if write_response(&mut w, &resp).is_err() {
+                return;
+            }
+            match rx.try_recv() {
+                Ok(next) => ticket = next,
+                Err(_) => break,
+            }
+        }
+        if w.flush().is_err() {
+            return;
+        }
+    }
+}

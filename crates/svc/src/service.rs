@@ -1,0 +1,452 @@
+//! The request batcher: worker threads that coalesce queued requests
+//! into one durable transaction per batch.
+//!
+//! Every submitted request becomes a [`Ticket`]; worker threads drain the
+//! shared queue up to [`SvcConfig::max_batch`] entries at a time and
+//! execute the whole batch inside ONE `atomic` block. A client's request
+//! is acknowledged only after that transaction's commit returns — i.e.
+//! after its redo record is fenced onto SCM — so an acknowledged write is
+//! durable by construction, and N batched writes cost one redo-append
+//! fence instead of N. With several workers committing concurrently, the
+//! post-writeback data fences additionally collapse across workers via
+//! the mtm `GroupFence` commit groups (PR 4), so the per-request fence
+//! cost approaches `1/batch` appends plus `~1/group` data fences.
+//!
+//! If the machine dies mid-batch (fault injection, or a genuine bug), the
+//! in-flight batch and everything still queued is answered with
+//! [`Response::Err`] — never acknowledged — which is exactly the
+//! guarantee the crash-sweep test checks: no acknowledged write may be
+//! missing after recovery.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use mnemosyne::{crash_payload, EmulationMode, Error, Mnemosyne, MtmRuntime, TxThread};
+use mnemosyne_obs::{Counter, Histogram, Telemetry, Unit};
+use mnemosyne_pds::PHashTable;
+use parking_lot::{Condvar, Mutex};
+
+use crate::proto::{Request, Response};
+
+/// Tuning for a [`KvService`].
+#[derive(Debug, Clone)]
+pub struct SvcConfig {
+    /// Batcher worker threads; each holds one transaction-runtime slot,
+    /// so the stack must be booted with `max_threads >= workers + 1`
+    /// (the extra slot covers setup/diagnostic threads).
+    pub workers: usize,
+    /// Most requests folded into one durable transaction.
+    pub max_batch: usize,
+    /// Group-commit window: a worker that wakes to fewer than
+    /// `max_batch` queued requests waits up to this long for more to
+    /// arrive before committing, trading that much p50 latency for much
+    /// larger (cheaper-per-request) batches. Zero commits immediately.
+    pub batch_window: std::time::Duration,
+    /// Hash-table buckets (created on first boot; a reopened table keeps
+    /// its original bucket count).
+    pub buckets: u64,
+    /// `pstatic` name of the table root — one service per name.
+    pub table: String,
+}
+
+impl Default for SvcConfig {
+    fn default() -> SvcConfig {
+        SvcConfig {
+            workers: 2,
+            max_batch: 64,
+            batch_window: std::time::Duration::from_micros(100),
+            buckets: 256,
+            table: "kv".to_string(),
+        }
+    }
+}
+
+/// The service-layer metrics (see METRICS.md, `svc.*`).
+#[derive(Clone)]
+pub(crate) struct SvcMetrics {
+    pub(crate) requests: Counter,
+    pub(crate) conns: Counter,
+    pub(crate) recoveries: Counter,
+    pub(crate) batch_size: Histogram,
+    pub(crate) request_ns: Histogram,
+}
+
+impl SvcMetrics {
+    fn register(t: &Telemetry) -> SvcMetrics {
+        SvcMetrics {
+            requests: t.counter("svc.requests", Unit::Count),
+            conns: t.counter("svc.conns", Unit::Count),
+            recoveries: t.counter("svc.recoveries", Unit::Count),
+            batch_size: t.histogram("svc.batch_size", Unit::Count),
+            request_ns: t.histogram("svc.request_ns", Unit::Nanoseconds),
+        }
+    }
+}
+
+/// Measures a batch in the worker handle's time domain: the emulator's
+/// virtual clock under `EmulationMode::Virtual` (so latency attribution
+/// matches the modelled SCM costs), the wall clock otherwise — the same
+/// convention as the mtm commit-phase histograms.
+struct DomainTimer {
+    wall: Instant,
+    accounted: u64,
+}
+
+impl DomainTimer {
+    fn start(th: &TxThread) -> DomainTimer {
+        DomainTimer {
+            wall: Instant::now(),
+            accounted: th.pmem().accounted_ns(),
+        }
+    }
+
+    fn stop(&self, th: &TxThread) -> u64 {
+        if th.pmem().mode() == EmulationMode::Virtual {
+            th.pmem().accounted_ns().saturating_sub(self.accounted)
+        } else {
+            self.wall.elapsed().as_nanos() as u64
+        }
+    }
+}
+
+struct TicketCell {
+    slot: Mutex<Option<Response>>,
+    cv: Condvar,
+}
+
+impl TicketCell {
+    fn new() -> TicketCell {
+        TicketCell {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, resp: Response) {
+        *self.slot.lock() = Some(resp);
+        self.cv.notify_all();
+    }
+}
+
+/// A pending response: returned by [`KvService::submit`], redeemed with
+/// [`Ticket::wait`]. Submitting without waiting is how connections
+/// pipeline — responses still come back in submission order per ticket.
+pub struct Ticket(Arc<TicketCell>);
+
+impl Ticket {
+    /// A ticket that is already answered (protocol errors, admin ops).
+    pub fn ready(resp: Response) -> Ticket {
+        let cell = Arc::new(TicketCell::new());
+        cell.complete(resp);
+        Ticket(cell)
+    }
+
+    /// Blocks until the request's batch commits (or fails) and returns
+    /// the response.
+    pub fn wait(self) -> Response {
+        let mut slot = self.0.slot.lock();
+        loop {
+            if let Some(resp) = slot.take() {
+                return resp;
+            }
+            self.0.cv.wait(&mut slot);
+        }
+    }
+}
+
+struct PendingReq {
+    req: Request,
+    cell: Arc<TicketCell>,
+}
+
+struct QueueState {
+    pending: VecDeque<PendingReq>,
+    /// Graceful stop: workers drain what is queued, then exit.
+    stop: bool,
+    /// The machine died (injected crash or worker panic): fail
+    /// everything immediately, nothing further commits.
+    dead: bool,
+}
+
+struct Inner {
+    mtm: Arc<MtmRuntime>,
+    table: PHashTable,
+    max_batch: usize,
+    batch_window: std::time::Duration,
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+    metrics: SvcMetrics,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Inner {
+    /// Marks the service dead and fails every queued request. Idempotent.
+    fn mark_dead(&self, why: &str) {
+        let drained: Vec<PendingReq> = {
+            let mut q = self.queue.lock();
+            q.dead = true;
+            q.stop = true;
+            q.pending.drain(..).collect()
+        };
+        self.cv.notify_all();
+        for p in drained {
+            p.cell.complete(Response::Err(why.to_string()));
+        }
+    }
+}
+
+/// A persistent key-value service: a [`PHashTable`] fronted by batching
+/// workers. Cheap to clone (shared state); the TCP layer in
+/// [`crate::server`] is a veneer over [`KvService::submit`].
+///
+/// The service borrows the stack's internals (transaction runtime,
+/// telemetry) rather than owning the [`Mnemosyne`] facade, so harnesses
+/// like `crash_sweep` — which keep ownership of the machine to crash and
+/// reboot it — can run a service over a stack they still control.
+#[derive(Clone)]
+pub struct KvService {
+    inner: Arc<Inner>,
+}
+
+impl KvService {
+    /// Opens (or recovers) the table and starts the batcher workers.
+    ///
+    /// When the table root already exists — i.e. the service is resuming
+    /// a previous incarnation's state after a restart or crash — the
+    /// `svc.recoveries` counter is bumped.
+    ///
+    /// # Errors
+    /// Table open/creation failures, or no free transaction slot.
+    pub fn start(m: &Mnemosyne, config: SvcConfig) -> Result<KvService, Error> {
+        let metrics = SvcMetrics::register(m.telemetry());
+        let root = m.pstatic(&config.table, 8)?;
+        let (table, resumed) = {
+            let mut th = m.register_thread()?;
+            let resumed = th.atomic(|tx| tx.read_u64(root))? != 0;
+            let table = PHashTable::open(m, &mut th, &config.table, config.buckets)?;
+            (table, resumed)
+        };
+        if resumed {
+            metrics.recoveries.inc();
+        }
+        let inner = Arc::new(Inner {
+            mtm: Arc::clone(m.mtm()),
+            table,
+            max_batch: config.max_batch.max(1),
+            batch_window: config.batch_window,
+            queue: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                stop: false,
+                dead: false,
+            }),
+            cv: Condvar::new(),
+            metrics,
+            workers: Mutex::new(Vec::new()),
+        });
+        let svc = KvService { inner };
+        for _ in 0..config.workers {
+            svc.spawn_worker();
+        }
+        Ok(svc)
+    }
+
+    /// Adds one batcher worker. Normally called by [`KvService::start`];
+    /// exposed so tests can queue requests first and then watch a single
+    /// worker fold them into one commit.
+    pub fn spawn_worker(&self) {
+        let inner = Arc::clone(&self.inner);
+        let join = std::thread::spawn(move || worker_loop(&inner));
+        self.inner.workers.lock().push(join);
+    }
+
+    /// Enqueues a request for the next commit batch. Never blocks; the
+    /// returned [`Ticket`] resolves once the batch commits. On a stopped
+    /// or dead service the ticket resolves immediately with an error.
+    pub fn submit(&self, req: Request) -> Ticket {
+        let cell = Arc::new(TicketCell::new());
+        let ticket = Ticket(Arc::clone(&cell));
+        {
+            let mut q = self.inner.queue.lock();
+            if q.stop || q.dead {
+                drop(q);
+                cell.complete(Response::Err("service unavailable".to_string()));
+                return ticket;
+            }
+            q.pending.push_back(PendingReq { req, cell });
+        }
+        self.inner.cv.notify_one();
+        ticket
+    }
+
+    /// Submit-and-wait, for synchronous callers.
+    pub fn call(&self, req: Request) -> Response {
+        self.submit(req).wait()
+    }
+
+    /// Whether the service has stopped serving (graceful stop or machine
+    /// death).
+    pub fn is_stopped(&self) -> bool {
+        let q = self.inner.queue.lock();
+        q.stop || q.dead
+    }
+
+    /// Graceful stop: already-queued requests are still committed and
+    /// acknowledged, then the workers exit and are joined. New submissions
+    /// fail immediately. Idempotent.
+    pub fn stop(&self) {
+        {
+            let mut q = self.inner.queue.lock();
+            q.stop = true;
+        }
+        self.inner.cv.notify_all();
+        let joins: Vec<JoinHandle<()>> = self.inner.workers.lock().drain(..).collect();
+        for j in joins {
+            let _ = j.join();
+        }
+    }
+
+    pub(crate) fn metrics(&self) -> &SvcMetrics {
+        &self.inner.metrics
+    }
+}
+
+/// Executes one batch as a single durable transaction, producing one
+/// response per request. The closure re-runs wholesale on conflict
+/// retry, so responses are computed from the transaction that actually
+/// committed.
+fn exec_batch(
+    table: &PHashTable,
+    th: &mut TxThread,
+    batch: &[PendingReq],
+) -> Result<Vec<Response>, mnemosyne::TxError> {
+    th.atomic(|tx| {
+        let mut out = Vec::with_capacity(batch.len());
+        for p in batch {
+            let resp = match &p.req {
+                Request::Ping => Response::Pong,
+                // The TCP layer answers SHUTDOWN itself; a direct submit
+                // is acknowledged as a no-op.
+                Request::Shutdown => Response::Ok,
+                Request::Get(k) => match table.get_in(tx, k)? {
+                    Some(v) => Response::Value(v),
+                    None => Response::NotFound,
+                },
+                Request::Put(k, v) => {
+                    table.put_in(tx, k, v)?;
+                    Response::Ok
+                }
+                Request::Del(k) => {
+                    if table.remove_in(tx, k)? {
+                        Response::Ok
+                    } else {
+                        Response::NotFound
+                    }
+                }
+                Request::Scan(prefix, limit) => {
+                    Response::Entries(table.scan_prefix_in(tx, prefix, *limit as usize)?)
+                }
+            };
+            out.push(resp);
+        }
+        Ok(out)
+    })
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    let mut th = match inner.mtm.register_thread() {
+        Ok(th) => th,
+        Err(e) => {
+            inner.mark_dead(&format!("no transaction slot for worker: {e}"));
+            return;
+        }
+    };
+    loop {
+        let batch: Vec<PendingReq> = {
+            let mut q = inner.queue.lock();
+            loop {
+                if q.dead {
+                    return;
+                }
+                if !q.pending.is_empty() {
+                    break;
+                }
+                if q.stop {
+                    return;
+                }
+                inner.cv.wait(&mut q);
+            }
+            // Group-commit window: waking to a short queue, give arrivals
+            // a beat to coalesce — each extra request folded here rides
+            // the same redo-append fence. Skipped while draining a stop,
+            // and cut short the moment the batch fills.
+            if !q.stop && q.pending.len() < inner.max_batch && !inner.batch_window.is_zero() {
+                let deadline = Instant::now() + inner.batch_window;
+                while !q.stop && !q.dead && q.pending.len() < inner.max_batch {
+                    let Some(left) = deadline
+                        .checked_duration_since(Instant::now())
+                        .filter(|d| !d.is_zero())
+                    else {
+                        break;
+                    };
+                    if inner.cv.wait_for(&mut q, left).timed_out() {
+                        break;
+                    }
+                }
+                if q.dead {
+                    return;
+                }
+                // Another worker may have raced away with the queue
+                // during the wait; go back to sleeping if so.
+                if q.pending.is_empty() {
+                    continue;
+                }
+            }
+            let n = q.pending.len().min(inner.max_batch);
+            q.pending.drain(..n).collect()
+        };
+        // More work may remain for an idle sibling.
+        inner.cv.notify_one();
+
+        let timer = DomainTimer::start(&th);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            exec_batch(&inner.table, &mut th, &batch)
+        }));
+        match outcome {
+            Ok(Ok(replies)) => {
+                let ns = timer.stop(&th);
+                inner.metrics.batch_size.record(batch.len() as u64);
+                inner.metrics.requests.add(batch.len() as u64);
+                for (p, resp) in batch.iter().zip(replies) {
+                    inner.metrics.request_ns.record(ns);
+                    p.cell.complete(resp);
+                }
+            }
+            Ok(Err(e)) => {
+                // The transaction failed cleanly: nothing was applied and
+                // nothing is acknowledged; the service keeps serving.
+                let why = format!("transaction failed: {e}");
+                for p in &batch {
+                    p.cell.complete(Response::Err(why.clone()));
+                }
+            }
+            Err(payload) => {
+                // Machine death. An injected crash (CrashRequested) is the
+                // expected path in fault tests; anything else is a bug,
+                // reported in the reply. Either way the batch did NOT
+                // commit, so failing it keeps the ack invariant.
+                let why = match crash_payload(&*payload) {
+                    Some(req) => format!("machine crashed: {req}"),
+                    None => "worker panicked executing a batch".to_string(),
+                };
+                for p in &batch {
+                    p.cell.complete(Response::Err(why.clone()));
+                }
+                inner.mark_dead(&why);
+                return;
+            }
+        }
+    }
+}

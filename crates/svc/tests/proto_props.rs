@@ -1,0 +1,141 @@
+//! Property tests of the wire framing: encode/decode round trips for
+//! every request and response shape, and totality of the decoder —
+//! truncated, oversized, and garbage inputs yield typed errors, never
+//! panics.
+
+use mnemosyne_svc::proto::{self, FrameError, Request, Response};
+use proptest::prelude::*;
+
+fn bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn request_round_trips(key in bytes(64), value in bytes(256), limit in any::<u32>(), pick in 0u8..6) {
+        let req = match pick {
+            0 => Request::Ping,
+            1 => Request::Get(key.clone()),
+            2 => Request::Put(key.clone(), value.clone()),
+            3 => Request::Del(key.clone()),
+            4 => Request::Scan(key.clone(), limit),
+            _ => Request::Shutdown,
+        };
+        let wire = req.encode();
+        let (decoded, used) = Request::decode(&wire).unwrap();
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn response_round_trips(value in bytes(256), err_raw in bytes(40), n in 0usize..8, pick in 0u8..6) {
+        // The shim has no regex string strategy; derive printable ASCII.
+        let err: String = err_raw.iter().map(|b| char::from(b % 95 + 32)).collect();
+        let resp = match pick {
+            0 => Response::Pong,
+            1 => Response::Ok,
+            2 => Response::NotFound,
+            3 => Response::Value(value.clone()),
+            4 => Response::Entries(
+                (0..n).map(|i| (vec![i as u8], value.clone())).collect(),
+            ),
+            _ => Response::Err(err.clone()),
+        };
+        let wire = resp.encode();
+        let (decoded, used) = Response::decode(&wire).unwrap();
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(decoded, resp);
+    }
+
+    /// Any byte string whatsoever decodes to Ok or a typed FrameError —
+    /// the decoder must be total.
+    #[test]
+    fn arbitrary_bytes_never_panic(data in bytes(512)) {
+        let _ = Request::decode(&data);
+        let _ = Response::decode(&data);
+    }
+
+    /// Every strict prefix of a valid frame is a Truncated error (the
+    /// decoder asks for more bytes rather than misparsing).
+    #[test]
+    fn truncated_frames_are_typed(key in bytes(32), value in bytes(64)) {
+        let wire = Request::Put(key, value).encode();
+        for cut in 0..wire.len() {
+            match Request::decode(&wire[..cut]) {
+                Err(FrameError::Truncated { .. }) => {}
+                other => prop_assert!(false, "cut at {}: {:?}", cut, other),
+            }
+        }
+    }
+
+    /// Flipping the opcode to garbage yields UnknownOpcode, not a panic
+    /// or a misparse.
+    #[test]
+    fn unknown_opcodes_are_typed(op in 0x20u8..0x80) {
+        let mut wire = Request::Ping.encode();
+        wire[4] = op;
+        prop_assert_eq!(
+            Request::decode(&wire).unwrap_err(),
+            FrameError::UnknownOpcode(op)
+        );
+    }
+
+    /// Pipelined frames: concatenated requests decode back in order,
+    /// consuming exactly their own bytes.
+    #[test]
+    fn concatenated_frames_decode_in_sequence(keys in proptest::collection::vec(bytes(16), 1..8)) {
+        let reqs: Vec<Request> = keys.into_iter().map(Request::Get).collect();
+        let mut wire = Vec::new();
+        for r in &reqs {
+            wire.extend_from_slice(&r.encode());
+        }
+        let mut off = 0;
+        for expect in &reqs {
+            let (got, used) = Request::decode(&wire[off..]).unwrap();
+            prop_assert_eq!(&got, expect);
+            off += used;
+        }
+        prop_assert_eq!(off, wire.len());
+    }
+}
+
+#[test]
+fn oversized_frame_is_typed() {
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&(proto::MAX_FRAME as u32 + 1).to_le_bytes());
+    wire.push(0x01);
+    match Request::decode(&wire) {
+        Err(FrameError::Oversized { len }) => assert_eq!(len, proto::MAX_FRAME + 1),
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+}
+
+#[test]
+fn trailing_bytes_are_typed() {
+    // A PING whose body claims one extra byte.
+    let wire = [2u8, 0, 0, 0, 0x01, 0xEE];
+    match Request::decode(&wire) {
+        Err(FrameError::TrailingBytes { extra }) => assert_eq!(extra, 1),
+        other => panic!("expected TrailingBytes, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_frame_is_typed() {
+    let wire = [0u8, 0, 0, 0];
+    assert_eq!(Request::decode(&wire).unwrap_err(), FrameError::Empty);
+}
+
+#[test]
+fn bad_utf8_in_err_response_is_typed() {
+    // An ERR response whose message field carries invalid UTF-8:
+    // opcode + u32 field length + two bad bytes.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&7u32.to_le_bytes());
+    wire.push(0x86);
+    wire.extend_from_slice(&2u32.to_le_bytes());
+    wire.extend_from_slice(&[0xFF, 0xFE]);
+    assert_eq!(Response::decode(&wire).unwrap_err(), FrameError::BadUtf8);
+}

@@ -106,6 +106,25 @@ impl Condvar {
         });
     }
 
+    /// Blocks until notified or `timeout` elapses, atomically releasing
+    /// the guard's lock; mirrors `parking_lot::Condvar::wait_for`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        take_mut(guard, |g| {
+            let (g, result) = self
+                .0
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            timed_out = result.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
     /// Wakes one waiting thread.
     pub fn notify_one(&self) -> bool {
         self.0.notify_one();
@@ -116,6 +135,18 @@ impl Condvar {
     pub fn notify_all(&self) -> usize {
         self.0.notify_all();
         0
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because time ran out rather
+/// than a notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout, not notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -161,6 +192,14 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 6;
         assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let pair = (Mutex::new(()), Condvar::new());
+        let mut g = pair.0.lock();
+        let result = pair.1.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(result.timed_out());
     }
 
     #[test]
