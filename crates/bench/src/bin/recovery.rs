@@ -1,0 +1,24 @@
+//! Recovery SLO bench: outstanding-log bytes replayed per virtual
+//! second at 1/2/4 parallel replay threads, rebooting one crash image
+//! with a known redo backlog. Emits `BENCH_recovery.json` at the
+//! repository root and the standard `target/repro/recovery/telemetry.json`
+//! sidecar.
+//!
+//! With `--smoke`, exits non-zero unless 4-thread replay reaches at
+//! least 2× the single-threaded recovery rate, or if the scaling ratio
+//! regressed more than 10% below the `BENCH_BASELINE_DIR` baseline.
+
+fn main() {
+    let scale = mnemosyne_bench::Scale::from_env();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    mnemosyne_bench::util::run_experiment("recovery", scale, mnemosyne_bench::exp::recovery::run);
+    if !smoke {
+        return;
+    }
+    let gate = mnemosyne_bench::gate::gate_for("recovery").expect("recovery gate");
+    if let Err(why) = gate.enforce_repo_root() {
+        eprintln!("smoke FAILED: {why}");
+        std::process::exit(1);
+    }
+    println!("smoke OK");
+}

@@ -32,6 +32,7 @@ fn main() {
         ("allocscale", exp::allocscale::run),
         ("txscale", exp::txscale::run),
         ("kvscale", exp::kvscale::run),
+        ("recovery", exp::recovery::run),
     ];
 
     let mut results: Vec<(String, Result<(), String>)> = Vec::new();

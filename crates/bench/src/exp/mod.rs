@@ -8,6 +8,7 @@ pub mod fig7;
 pub mod hashbench;
 pub mod kvscale;
 pub mod microcosts;
+pub mod recovery;
 pub mod reincarnation;
 pub mod reliability;
 pub mod table1;

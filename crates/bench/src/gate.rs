@@ -53,7 +53,7 @@ pub struct ScalingGate {
 }
 
 /// The gates CI runs, one per scaling bench.
-pub const GATES: [ScalingGate; 3] = [
+pub const GATES: [ScalingGate; 4] = [
     ScalingGate {
         bench: "allocscale",
         json_file: "BENCH_pheap.json",
@@ -84,11 +84,32 @@ pub const GATES: [ScalingGate; 3] = [
         hi: Some(4),
         min_ratio_milli: 2000,
     },
+    ScalingGate {
+        bench: "recovery",
+        json_file: "BENCH_recovery.json",
+        series: "points",
+        axis_key: "threads",
+        value_key: "bytes_per_vsec",
+        lo: 1,
+        hi: Some(4),
+        min_ratio_milli: 2000,
+    },
 ];
 
 /// Looks up the gate for a bench by name.
 pub fn gate_for(bench: &str) -> Option<ScalingGate> {
     GATES.into_iter().find(|g| g.bench == bench)
+}
+
+/// Runs `measure` three times and returns the run with the median
+/// `key`. Gated experiments compare single points, so one descheduled
+/// worker thread on a loaded CI box can sink a whole run; the median of
+/// three is robust to a single outlier in either direction while
+/// staying honest (no best-of cherry-picking).
+pub fn median_of_3<T>(mut measure: impl FnMut() -> T, key: impl Fn(&T) -> u64) -> T {
+    let mut runs = vec![measure(), measure(), measure()];
+    runs.sort_by_key(&key);
+    runs.swap_remove(1)
 }
 
 fn field(p: &JsonValue, k: &str) -> Option<u64> {

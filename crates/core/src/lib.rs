@@ -48,7 +48,8 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 pub use mnemosyne_mtm::{
-    MtmConfig, MtmRuntime, MtmStats, Truncation, Tx, TxAbort, TxError, TxThread,
+    CkptStats, MtmConfig, MtmRuntime, MtmStats, RecoveryStats, Truncation, Tx, TxAbort, TxError,
+    TxThread,
 };
 pub use mnemosyne_pheap::{HeapConfig, HeapError, PHeap};
 pub use mnemosyne_rawl::{CommitRecordLog, LogError, TornbitLog};
@@ -221,6 +222,23 @@ impl MnemosyneBuilder {
     /// Sets the per-thread redo-log capacity in words.
     pub fn log_words(mut self, words: u64) -> Self {
         self.mtm_config.log_words = words;
+        self
+    }
+
+    /// Sets the synchronous-mode log occupancy (percent of capacity)
+    /// above which a commit truncates its log. Higher values leave
+    /// committed records lingering — useful for building up a known
+    /// outstanding-log backlog to measure recovery against.
+    pub fn sync_truncate_pct(mut self, pct: u8) -> Self {
+        self.mtm_config = self.mtm_config.with_sync_truncate_pct(pct);
+        self
+    }
+
+    /// Sets the worker-thread count for parallel log replay at open
+    /// (`0` = auto: `MNEMOSYNE_RECOVERY_THREADS` or the host
+    /// parallelism, clamped to `[1, max_threads]`).
+    pub fn recovery_threads(mut self, n: usize) -> Self {
+        self.mtm_config = self.mtm_config.with_recovery_threads(n);
         self
     }
 

@@ -60,5 +60,7 @@ pub mod runtime;
 pub mod tx;
 
 pub use error::{TxAbort, TxError};
-pub use runtime::{MtmConfig, MtmRuntime, MtmStats, Truncation, TxThread};
+pub use runtime::{
+    CkptStats, MtmConfig, MtmRuntime, MtmStats, RecoveryStats, Truncation, TxThread,
+};
 pub use tx::Tx;

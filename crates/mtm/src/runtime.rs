@@ -9,7 +9,7 @@ use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 
-use mnemosyne_obs::{Counter, Histogram, Telemetry, Unit};
+use mnemosyne_obs::{Counter, Histogram, MaxGauge, Telemetry, Unit};
 use mnemosyne_pheap::PHeap;
 use mnemosyne_rawl::{LogError, LogTruncator, TornbitLog, LOG_HEADER_BYTES};
 use mnemosyne_region::{PMem, Regions, VAddr};
@@ -89,6 +89,10 @@ pub struct MtmConfig {
     /// spends on a foreign-owned lock before aborting. `0` restores raw
     /// abort-on-conflict.
     pub max_lock_waits: u32,
+    /// Worker threads for parallel log replay at open. `0` (the default)
+    /// resolves to `MNEMOSYNE_RECOVERY_THREADS` or the host parallelism,
+    /// clamped to `[1, max_threads]`.
+    pub recovery_threads: usize,
 }
 
 impl Default for MtmConfig {
@@ -102,6 +106,7 @@ impl Default for MtmConfig {
             group_commit: true,
             sync_truncate_pct: 50,
             max_lock_waits: 6,
+            recovery_threads: 0,
         }
     }
 }
@@ -137,6 +142,28 @@ impl MtmConfig {
         self.max_lock_waits = waits;
         self
     }
+
+    /// Overrides the parallel-recovery worker count (`0` = auto).
+    pub fn with_recovery_threads(mut self, n: usize) -> Self {
+        self.recovery_threads = n;
+        self
+    }
+
+    /// The effective recovery worker count: the explicit setting, else the
+    /// `MNEMOSYNE_RECOVERY_THREADS` environment variable, else the host
+    /// parallelism — always clamped to `[1, max_threads]` (there is one
+    /// log per thread slot, so more workers than slots cannot help).
+    pub fn resolve_recovery_threads(&self) -> usize {
+        let n = if self.recovery_threads > 0 {
+            self.recovery_threads
+        } else {
+            std::env::var("MNEMOSYNE_RECOVERY_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        };
+        n.clamp(1, self.max_threads.max(1))
+    }
 }
 
 /// Counters describing runtime activity.
@@ -151,6 +178,36 @@ pub struct MtmStats {
     /// Commits that stalled waiting for the asynchronous truncator to
     /// free log space (§5: "program threads may stall").
     pub stalls: u64,
+}
+
+/// What the last [`MtmRuntime::open`] had to do to restore the machine:
+/// the measured side of the recovery SLO (the `recovery` bench reports
+/// these figures per outstanding-log size).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Committed-but-unflushed transactions replayed from the redo logs.
+    pub replayed: u64,
+    /// Live log words scanned across all thread slots (the outstanding
+    /// log the previous incarnation left behind).
+    pub scanned_words: u64,
+    /// Critical-path time of the scan + replay phases: the max over the
+    /// parallel workers, in the emulator's virtual time domain when the
+    /// virtual clock is on, wall time otherwise.
+    pub replay_ns: u64,
+    /// Worker threads the replay actually used.
+    pub threads: usize,
+}
+
+/// Result of one [`MtmRuntime::checkpoint`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CkptStats {
+    /// Log words durably reclaimed (redo logs plus allocator logs).
+    pub reclaimed_words: u64,
+    /// Outstanding redo-log words when the checkpoint started.
+    pub outstanding_before: u64,
+    /// Outstanding redo-log words when it finished (bounded by whatever
+    /// commits raced the pass).
+    pub outstanding_after: u64,
 }
 
 /// `mtm.*` telemetry registered in the machine's registry. The runtime
@@ -198,6 +255,18 @@ pub(crate) struct MtmMetrics {
     /// their log up to the durable watermark instead of every commit
     /// dropping the whole log.
     pub(crate) wm_truncations: Counter,
+    /// Checkpoints completed ([`MtmRuntime::checkpoint`]).
+    pub(crate) ckpt_runs: Counter,
+    /// Log words reclaimed by checkpoints (redo + allocator logs).
+    pub(crate) ckpt_words: Counter,
+    /// High-water mark of outstanding redo-log words observed at
+    /// checkpoint entry — flat under a healthy checkpoint cadence.
+    pub(crate) ckpt_outstanding_hwm: MaxGauge,
+    /// Per-checkpoint duration (virtual ns when the clock is emulated).
+    pub(crate) ckpt_ns: Histogram,
+    /// Worst log-replay time measured at open, in milliseconds — the
+    /// recovery SLO gauge the `recovery` bench drills into.
+    pub(crate) replay_ms: MaxGauge,
 }
 
 impl MtmMetrics {
@@ -220,6 +289,11 @@ impl MtmMetrics {
             group_fences: telemetry.counter("mtm.group_fences", Unit::Count),
             piggybacked_commits: telemetry.counter("mtm.piggybacked_commits", Unit::Count),
             wm_truncations: telemetry.counter("mtm.wm_truncations", Unit::Count),
+            ckpt_runs: telemetry.counter("mtm.ckpt.runs", Unit::Count),
+            ckpt_words: telemetry.counter("mtm.ckpt.words", Unit::Words),
+            ckpt_outstanding_hwm: telemetry.max_gauge("mtm.ckpt.outstanding_hwm", Unit::Words),
+            ckpt_ns: telemetry.histogram("mtm.ckpt.run_ns", Unit::Nanoseconds),
+            replay_ms: telemetry.max_gauge("recovery.replay_ms", Unit::Milliseconds),
         }
     }
 }
@@ -256,6 +330,14 @@ struct ManagerHandle {
     /// [`MtmRuntime::kill`] to model abrupt process death in crash tests.
     hard: Arc<AtomicBool>,
     join: Option<JoinHandle<()>>,
+}
+
+/// Consumer-side state shared by everything that truncates logs from
+/// outside the owning transaction thread: the async log manager and
+/// [`MtmRuntime::checkpoint`]. The mutex is the serialization point — a
+/// checkpoint and a manager pass never interleave on the same log.
+struct CkptShared {
+    truncators: Mutex<Vec<LogTruncator>>,
 }
 
 /// The durable-transaction runtime. Create once per process with
@@ -313,6 +395,8 @@ pub struct MtmRuntime {
     stalls: AtomicU64,
     metrics: MtmMetrics,
     manager: Mutex<Option<ManagerHandle>>,
+    ckpt: Arc<CkptShared>,
+    recovery: RecoveryStats,
 }
 
 impl std::fmt::Debug for MtmRuntime {
@@ -334,69 +418,212 @@ impl MtmRuntime {
     /// Fails on region exhaustion or corrupt logs.
     pub fn open(regions: &Arc<Regions>, config: MtmConfig) -> Result<Arc<MtmRuntime>, TxError> {
         let pmem = regions.pmem_handle();
-        let mut logs = Vec::with_capacity(config.max_threads);
-        let mut pending: Vec<(u64, Vec<(VAddr, u64)>)> = Vec::new();
+        let threads = config.resolve_recovery_threads();
+
+        // Map every slot's log region first (the region table is one
+        // shared structure); the per-log scans below then touch disjoint
+        // regions and can run in parallel.
+        let mut bases = Vec::with_capacity(config.max_threads);
         for i in 0..config.max_threads {
             let name = format!("{}.log{}", config.name_prefix, i);
             let r = regions.pmap(&name, LOG_HEADER_BYTES + config.log_words * 8, &pmem)?;
-            let log_pmem = regions.pmem_handle();
-            let log = if TornbitLog::exists(&log_pmem, r.addr) {
-                let (log, records) = TornbitLog::recover(log_pmem, r.addr)?;
-                for rec in records {
-                    // Redo records are [ts, (addr,val)*]. Every record is
-                    // checksum-verified by recovery, so a structurally
-                    // malformed one means corruption slipped past the
-                    // media-level checks — refuse to replay it.
-                    if rec.is_empty() || rec.len() % 2 == 0 {
-                        return Err(TxError::Log(LogError::Corrupt {
-                            position: 0,
-                            detail: "malformed redo record in recovered log",
-                        }));
+            bases.push(r.addr);
+        }
+
+        let wall = Instant::now();
+        let log_words = config.log_words;
+
+        // Phase 1 — parallel scan: torn-bit scan, record decode, and tail
+        // sanitisation of each slot's log, round-robin over the workers so
+        // populated logs spread evenly. Joined explicitly: a simulated
+        // crash fired inside a worker must resurface with its payload
+        // intact (the crash-sweep harness matches on it).
+        let nscan = threads.min(bases.len().max(1));
+        let mut work: Vec<Vec<(usize, VAddr, PMem)>> = (0..nscan).map(|_| Vec::new()).collect();
+        for (i, &base) in bases.iter().enumerate() {
+            work[i % nscan].push((i, base, regions.pmem_handle()));
+        }
+        type Scanned = (Vec<(usize, TornbitLog, Vec<Vec<u64>>)>, u64);
+        let joined: Vec<std::thread::Result<Result<Scanned, LogError>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = work
+                .into_iter()
+                .map(|batch| {
+                    s.spawn(move || -> Result<Scanned, LogError> {
+                        let mut out = Vec::with_capacity(batch.len());
+                        let mut busy = 0u64;
+                        for (i, base, hp) in batch {
+                            let timer = PhaseTimer::start(&hp);
+                            let (log, records) = if TornbitLog::exists(&hp, base) {
+                                TornbitLog::recover(hp, base)?
+                            } else {
+                                (TornbitLog::create(hp, base, log_words)?, Vec::new())
+                            };
+                            busy += timer.stop(log.pmem());
+                            out.push((i, log, records));
+                        }
+                        Ok((out, busy))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+        let mut per_slot: Vec<Option<(TornbitLog, Vec<Vec<u64>>)>> =
+            (0..bases.len()).map(|_| None).collect();
+        let mut scan_ns = 0u64;
+        let mut first_panic = None;
+        let mut first_err = None;
+        for j in joined {
+            match j {
+                Ok(Ok((out, busy))) => {
+                    scan_ns = scan_ns.max(busy);
+                    for (i, log, records) in out {
+                        per_slot[i] = Some((log, records));
                     }
-                    let ts = rec[0];
-                    let writes = rec[1..]
-                        .chunks_exact(2)
-                        .map(|c| (VAddr(c[0]), c[1]))
-                        .collect();
-                    pending.push((ts, writes));
                 }
-                log
-            } else {
-                TornbitLog::create(log_pmem, r.addr, config.log_words)?
-            };
+                Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                Err(payload) => first_panic = first_panic.or(Some(payload)),
+            }
+        }
+        if let Some(p) = first_panic {
+            std::panic::resume_unwind(p);
+        }
+        if let Some(e) = first_err {
+            return Err(TxError::Log(e));
+        }
+
+        // Merge in slot order (deterministic), validating each record.
+        let mut logs = Vec::with_capacity(bases.len());
+        let mut pending: Vec<(u64, Vec<(VAddr, u64)>)> = Vec::new();
+        let mut scanned_words = 0u64;
+        for entry in per_slot {
+            let (log, records) = entry.expect("every slot scanned");
+            scanned_words += log.len_words();
+            for rec in records {
+                // Redo records are [ts, (addr,val)*]. Every record is
+                // checksum-verified by recovery, so a structurally
+                // malformed one means corruption slipped past the
+                // media-level checks — refuse to replay it.
+                if rec.is_empty() || rec.len() % 2 == 0 {
+                    return Err(TxError::Log(LogError::Corrupt {
+                        position: 0,
+                        detail: "malformed redo record in recovered log",
+                    }));
+                }
+                let ts = rec[0];
+                let writes = rec[1..]
+                    .chunks_exact(2)
+                    .map(|c| (VAddr(c[0]), c[1]))
+                    .collect();
+                pending.push((ts, writes));
+            }
             logs.push(log);
         }
 
-        // Replay committed transactions in timestamp order (§5 recovery).
+        // Phase 2 — parallel replay of committed transactions (§5
+        // recovery). The flattened write stream is walked in global
+        // timestamp order and partitioned by target *cache line*: writes
+        // to one address always land in one partition in timestamp
+        // order, so the parallel apply is write-for-write equivalent to
+        // the serial one — and the line granularity keeps each flushed
+        // line owned by exactly one worker, so the flush traffic
+        // actually divides instead of every worker touching every line.
+        // Each worker stores its partition, flushes the lines, and
+        // fences once.
         pending.sort_by_key(|&(ts, _)| ts);
         let replayed = pending.len() as u64;
+        let mut parts: Vec<Vec<(VAddr, u64)>> = (0..threads).map(|_| Vec::new()).collect();
         for (_, writes) in &pending {
             for &(addr, val) in writes {
-                // A redo address outside every mapped region would be a
-                // segfault-analogue panic; surface it as typed corruption
-                // instead (the record's checksum passed, so this means the
-                // region table itself regressed — either way, don't crash).
-                if pmem.try_translate(addr).is_err() {
-                    return Err(TxError::Log(LogError::Corrupt {
-                        position: 0,
-                        detail: "redo record targets an unmapped address",
-                    }));
-                }
-                pmem.store_u64(addr, val);
-            }
-            for &(addr, _) in writes {
-                pmem.flush(addr);
+                parts[(addr.0 >> 6) as usize % threads].push((addr, val));
             }
         }
+        let mut replay_ns = 0u64;
         if replayed > 0 {
-            pmem.fence();
+            let joined: Vec<std::thread::Result<Result<u64, LogError>>> = std::thread::scope(|s| {
+                let handles: Vec<_> = parts
+                    .into_iter()
+                    .filter(|p| !p.is_empty())
+                    .map(|part| {
+                        let hp = regions.pmem_handle();
+                        s.spawn(move || -> Result<u64, LogError> {
+                            let timer = PhaseTimer::start(&hp);
+                            for &(addr, _) in &part {
+                                // A redo address outside every mapped
+                                // region would be a segfault-analogue
+                                // panic; surface it as typed corruption
+                                // instead (the checksum passed, so the
+                                // region table itself regressed —
+                                // either way, don't crash).
+                                if hp.try_translate(addr).is_err() {
+                                    return Err(LogError::Corrupt {
+                                        position: 0,
+                                        detail: "redo record targets an unmapped address",
+                                    });
+                                }
+                            }
+                            for &(addr, val) in &part {
+                                hp.store_u64(addr, val);
+                            }
+                            for &(addr, _) in &part {
+                                hp.flush(addr);
+                            }
+                            hp.fence();
+                            Ok(timer.stop(&hp))
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+            let mut first_panic = None;
+            let mut first_err = None;
+            for j in joined {
+                match j {
+                    Ok(Ok(busy)) => replay_ns = replay_ns.max(busy),
+                    Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                    Err(payload) => first_panic = first_panic.or(Some(payload)),
+                }
+            }
+            if let Some(p) = first_panic {
+                std::panic::resume_unwind(p);
+            }
+            if let Some(e) = first_err {
+                return Err(TxError::Log(e));
+            }
         }
         for log in &mut logs {
             log.truncate_all();
         }
 
+        // Critical-path recovery time: max over the parallel workers per
+        // phase under the virtual clock, wall time otherwise.
+        let total_ns = if pmem.mode() == EmulationMode::Virtual {
+            scan_ns + replay_ns
+        } else {
+            wall.elapsed().as_nanos() as u64
+        };
+        let recovery = RecoveryStats {
+            replayed,
+            scanned_words,
+            replay_ns: total_ns,
+            threads,
+        };
+
         let metrics = MtmMetrics::new(regions.telemetry());
         metrics.replayed.add(replayed);
+        if replayed > 0 {
+            metrics.replay_ms.record(total_ns.div_ceil(1_000_000));
+        }
+        // Every log gets a consumer handle up front: the checkpoint entry
+        // point uses them in both regimes, and the async manager shares
+        // the same set (the mutex serializes the two).
+        let ckpt = Arc::new(CkptShared {
+            truncators: Mutex::new(
+                logs.iter()
+                    .map(|log| log.truncator(regions.pmem_handle()))
+                    .collect(),
+            ),
+        });
+
         let rt = Arc::new(MtmRuntime {
             clock: GlobalClock::new(),
             locks: LockTable::new(config.lock_table_size),
@@ -413,23 +640,19 @@ impl MtmRuntime {
             stalls: AtomicU64::new(0),
             metrics,
             manager: Mutex::new(None),
+            ckpt: Arc::clone(&ckpt),
+            recovery,
             slots: Mutex::new(Vec::new()),
         });
 
-        // In async mode the manager thread needs truncators before the
-        // logs move into the slot pool.
         if config.truncation == Truncation::Async {
-            let truncators: Vec<LogTruncator> = logs
-                .iter()
-                .map(|log| log.truncator(regions.pmem_handle()))
-                .collect();
             let stop = Arc::new(AtomicBool::new(false));
             let hard = Arc::new(AtomicBool::new(false));
             let stop2 = Arc::clone(&stop);
             let hard2 = Arc::clone(&hard);
             let join = std::thread::Builder::new()
                 .name("mtm-log-manager".into())
-                .spawn(move || log_manager(truncators, stop2, hard2))
+                .spawn(move || log_manager(&ckpt, stop2, hard2))
                 .expect("spawn log manager");
             *rt.manager.lock() = Some(ManagerHandle {
                 stop,
@@ -544,6 +767,82 @@ impl MtmRuntime {
             .collect()
     }
 
+    /// Parallel-recovery figures from the last [`MtmRuntime::open`].
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Redo-log words appended, fenced, and not yet truncated across all
+    /// thread slots — what a crash right now would have to replay. The
+    /// checkpointer's job is to keep this bounded.
+    pub fn outstanding_log_words(&self) -> u64 {
+        self.ckpt
+            .truncators
+            .lock()
+            .iter()
+            .map(|t| t.backlog_words())
+            .sum()
+    }
+
+    /// Runs one checkpoint pass: quiesces each slot's durable watermark
+    /// and truncates the redo logs down to it, then sweeps the attached
+    /// heap's allocator logs. Safe to call from any thread, concurrently
+    /// with committing transactions (truncation is serialized against the
+    /// producers' own inline truncation and against the async manager).
+    ///
+    /// In the synchronous regime every commit publishes its data-durable
+    /// watermark after the commit fence, so the pass is one word write
+    /// plus one fence per non-empty log — no scanning. In the
+    /// asynchronous regime the pass drains the logs exactly as the
+    /// manager would (forcing each record's data lines out first).
+    pub fn checkpoint(&self) -> CkptStats {
+        let wall = Instant::now();
+        let truncators = self.ckpt.truncators.lock();
+        let virt = self.regions.pmem_handle().mode() == EmulationMode::Virtual;
+        let busy_before: u64 = truncators.iter().map(|t| t.pmem().accounted_ns()).sum();
+        let before: u64 = truncators.iter().map(|t| t.backlog_words()).sum();
+        self.metrics.ckpt_outstanding_hwm.record(before);
+        let mut words = 0u64;
+        for t in truncators.iter() {
+            if t.poisoned() {
+                continue;
+            }
+            match self.truncation {
+                Truncation::Sync => words += t.truncate_to_durable_watermark(),
+                Truncation::Async => {
+                    let head = t.head_pos();
+                    let _ = t.drain_incremental(MANAGER_DRAIN_STEP, |rec| {
+                        for pair in rec[1..].chunks_exact(2) {
+                            t.pmem().flush(VAddr(pair[0]));
+                        }
+                    });
+                    words += t.head_pos() - head;
+                }
+            }
+        }
+        let after: u64 = truncators.iter().map(|t| t.backlog_words()).sum();
+        let busy_after: u64 = truncators.iter().map(|t| t.pmem().accounted_ns()).sum();
+        drop(truncators);
+        // Allocator logs truncate per-op and are almost always empty
+        // already; the sweep turns "almost always" into a bound.
+        if let Some(heap) = self.heap() {
+            words += heap.checkpoint();
+        }
+        self.metrics.ckpt_runs.inc();
+        self.metrics.ckpt_words.add(words);
+        let ns = if virt {
+            busy_after.saturating_sub(busy_before)
+        } else {
+            wall.elapsed().as_nanos() as u64
+        };
+        self.metrics.ckpt_ns.record(ns);
+        CkptStats {
+            reclaimed_words: words,
+            outstanding_before: before,
+            outstanding_after: after,
+        }
+    }
+
     /// Models abrupt process death for crash testing: stops the
     /// asynchronous log manager *without* its final drain sweep, so the
     /// runtime stops touching SCM from background threads. Call this
@@ -584,21 +883,27 @@ const MANAGER_DRAIN_STEP: usize = 16;
 /// Truncation is incremental — every [`MANAGER_DRAIN_STEP`] records the
 /// durable watermark advances, so producers stall for bounded time even
 /// when a pass has a deep backlog.
-fn log_manager(truncators: Vec<LogTruncator>, stop: Arc<AtomicBool>, hard: Arc<AtomicBool>) {
+fn log_manager(ckpt: &CkptShared, stop: Arc<AtomicBool>, hard: Arc<AtomicBool>) {
     while !stop.load(Ordering::Relaxed) {
         let mut drained = 0usize;
-        for t in &truncators {
-            if t.poisoned() {
-                continue; // corrupt log: producer gets the typed error
+        {
+            // The lock is shared with `MtmRuntime::checkpoint`; holding
+            // it per pass (not across the idle sleep) lets a checkpoint
+            // slot in between manager sweeps.
+            let truncators = ckpt.truncators.lock();
+            for t in truncators.iter() {
+                if t.poisoned() {
+                    continue; // corrupt log: producer gets the typed error
+                }
+                drained += t
+                    .drain_incremental(MANAGER_DRAIN_STEP, |rec| {
+                        // rec = [ts, (addr, val)*]; flush each written line.
+                        for pair in rec[1..].chunks_exact(2) {
+                            t.pmem().flush(VAddr(pair[0]));
+                        }
+                    })
+                    .unwrap_or(0);
             }
-            drained += t
-                .drain_incremental(MANAGER_DRAIN_STEP, |rec| {
-                    // rec = [ts, (addr, val)*]; flush each written line.
-                    for pair in rec[1..].chunks_exact(2) {
-                        t.pmem().flush(VAddr(pair[0]));
-                    }
-                })
-                .unwrap_or(0);
         }
         if drained == 0 {
             std::thread::sleep(std::time::Duration::from_micros(20));
@@ -608,7 +913,8 @@ fn log_manager(truncators: Vec<LogTruncator>, stop: Arc<AtomicBool>, hard: Arc<A
         return; // killed: model abrupt process death, no final sweep
     }
     // Graceful shutdown: final sweep so nothing is stranded.
-    for t in &truncators {
+    let truncators = ckpt.truncators.lock();
+    for t in truncators.iter() {
         if t.poisoned() {
             continue;
         }
@@ -754,6 +1060,15 @@ impl TxThread {
             for _ in 0..spins {
                 std::hint::spin_loop();
             }
+            if attempt > 2 {
+                // A conflict that survives two backoffs usually means the
+                // lock owner lost the CPU mid-commit. When threads
+                // outnumber cores, spinning harder starves the owner and
+                // every retry aborts again — the whole pool livelocks
+                // until the scheduler happens to run the owner. Donate
+                // the timeslice instead so it can finish and release.
+                std::thread::yield_now();
+            }
         }
     }
 }
@@ -894,19 +1209,14 @@ impl Tx<'_> {
             } else {
                 self.th.pmem().fence();
             }
-            // Amortised truncation: drop the log only once it passes the
-            // occupancy threshold. Everything below the watermark is
-            // doubly durable (record fenced, data fenced), and leaving
-            // committed records in the log is safe because recovery
-            // replay is idempotent.
-            let pct = self.th.rt().sync_truncate_pct() as u64;
-            let log = self.th.log_mut();
-            let used = log.capacity() - log.free_words();
-            if pct == 0 || used * 100 >= log.capacity() * pct {
-                let wm = log.tail_pos();
-                log.truncate_to_watermark(wm);
-                self.th.rt().metrics().wm_truncations.inc();
-            }
+            // Data fence retired: everything in this log up to the tail
+            // is now doubly durable (records fenced, data fenced).
+            // Publish that watermark so a background checkpointer can
+            // reclaim the space without scanning — publishing `fenced`
+            // instead would be wrong, since between `publish()` above and
+            // this fence the record is visible but its data is not yet
+            // durable.
+            self.th.log_mut().publish_durable_watermark();
             self.th
                 .rt()
                 .metrics()
@@ -919,6 +1229,26 @@ impl Tx<'_> {
             self.th.rt().locks().release(idx, ts);
         }
         self.lock_set.clear();
+
+        if truncation == Truncation::Sync {
+            // Amortised truncation: drop the log only once it passes the
+            // occupancy threshold. Everything below the watermark is
+            // doubly durable (record fenced, data fenced), and leaving
+            // committed records in the log is safe because recovery
+            // replay is idempotent. This happens strictly AFTER the lock
+            // release above: truncation serializes against the background
+            // checkpointer on the log's truncate lock, and spinning there
+            // with write locks still held would stall every concurrent
+            // commit touching the same words into aborting.
+            let pct = self.th.rt().sync_truncate_pct() as u64;
+            let log = self.th.log_mut();
+            let used = log.capacity() - log.free_words();
+            if pct == 0 || used * 100 >= log.capacity() * pct {
+                let wm = log.tail_pos();
+                log.truncate_to_watermark(wm);
+                self.th.rt().metrics().wm_truncations.inc();
+            }
+        }
 
         // Deferred frees happen after the commit point.
         if !self.frees.is_empty() {

@@ -20,6 +20,8 @@ pub enum Unit {
     Bytes,
     /// Nanoseconds (wall or virtual clock, per the emulation mode).
     Nanoseconds,
+    /// Milliseconds (coarse operational gauges, e.g. recovery replay time).
+    Milliseconds,
 }
 
 impl Unit {
@@ -30,6 +32,7 @@ impl Unit {
             Unit::Words => "words",
             Unit::Bytes => "bytes",
             Unit::Nanoseconds => "ns",
+            Unit::Milliseconds => "ms",
         }
     }
 
@@ -40,6 +43,7 @@ impl Unit {
             "words" => Some(Unit::Words),
             "bytes" => Some(Unit::Bytes),
             "ns" => Some(Unit::Nanoseconds),
+            "ms" => Some(Unit::Milliseconds),
             _ => None,
         }
     }
@@ -229,7 +233,13 @@ mod tests {
 
     #[test]
     fn unit_and_kind_roundtrip() {
-        for u in [Unit::Count, Unit::Words, Unit::Bytes, Unit::Nanoseconds] {
+        for u in [
+            Unit::Count,
+            Unit::Words,
+            Unit::Bytes,
+            Unit::Nanoseconds,
+            Unit::Milliseconds,
+        ] {
             assert_eq!(Unit::parse(u.as_str()), Some(u));
         }
         for k in [Kind::Sum, Kind::Max] {

@@ -549,6 +549,54 @@ impl PHeap {
         Ok(())
     }
 
+    /// Checkpoint sweep: truncates every allocator log (per-shard and
+    /// large) that still holds records, returning the words reclaimed.
+    ///
+    /// Allocator operations already truncate their own log after applying
+    /// each op, so the logs are almost always empty and this is nearly
+    /// free — but a checkpoint wants a *bound*, not a likelihood, on the
+    /// outstanding-log bytes a reboot must replay, and this provides it.
+    ///
+    /// Busy shards are skipped rather than waited on (`try_lock`): a held
+    /// lock means an allocator op is in flight, and that op truncates its
+    /// own log before releasing the lock, so the bound holds without this
+    /// sweep touching the shard. Crucially, allocations run inside
+    /// transactions that hold STM word locks — a background checkpointer
+    /// that *blocked* allocation here (for even a scheduling quantum)
+    /// would stall the owner and cascade every concurrent transaction
+    /// into conflict aborts. Every record truncated here was fully
+    /// applied (the op holds the shard lock from append through
+    /// truncate), so dropping it cannot lose state.
+    pub fn checkpoint(&self) -> u64 {
+        let mut words = 0u64;
+        for shard in &self.shards {
+            let Some(mut g) = shard.try_lock() else {
+                continue;
+            };
+            let live = g.log.len_words();
+            if live > 0 {
+                g.log.truncate_all();
+                words += live;
+            }
+        }
+        if let Some(mut lg) = self.large.try_lock() {
+            let live = lg.log.len_words();
+            if live > 0 {
+                lg.log.truncate_all();
+                words += live;
+            }
+        }
+        words
+    }
+
+    /// Words currently live across all allocator logs (appended, not yet
+    /// truncated) — the heap's contribution to the outstanding-log bound.
+    pub fn outstanding_log_words(&self) -> u64 {
+        let mut words: u64 = self.shards.iter().map(|s| s.lock().log.len_words()).sum();
+        words += self.large.lock().log.len_words();
+        words
+    }
+
     /// The shard index this thread's allocations map to (diagnostics and
     /// benchmarks): threads are assigned monotone slots, taken modulo the
     /// shard count.

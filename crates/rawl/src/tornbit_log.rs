@@ -349,6 +349,22 @@ impl TornbitLog {
             .store(self.shared.tail.load(Ordering::Relaxed), Ordering::Release);
     }
 
+    /// Publishes the current tail as the *data-durable* watermark: the
+    /// producer asserts that every record below it is fenced **and** the
+    /// data writes those records describe have been flushed and fenced,
+    /// so recovery no longer needs them. A background checkpointer (on
+    /// another thread, holding a [`LogTruncator`]) may then reclaim the
+    /// space with [`LogTruncator::truncate_to_durable_watermark`] without
+    /// scanning the buffer — and without racing the producer's appends,
+    /// because the watermark only ever covers retired stream positions.
+    ///
+    /// Costs no durability primitives; call it after the commit fence.
+    pub fn publish_durable_watermark(&mut self) {
+        self.shared
+            .durable_wm
+            .store(self.shared.tail.load(Ordering::Relaxed), Ordering::Release);
+    }
+
     /// Synchronous truncation (`log_truncate`): durably drops every record
     /// written so far (one word write + one fence).
     pub fn truncate_all(&mut self) {
@@ -530,6 +546,27 @@ impl LogTruncator {
             }
             None => Ok(n),
         }
+    }
+
+    /// Checkpoint truncation: durably advances the head to the producer's
+    /// published data-durable watermark (see
+    /// [`TornbitLog::publish_durable_watermark`]) and returns the words
+    /// reclaimed. No buffer scan, no record decoding — one word write plus
+    /// one fence when there is anything to reclaim, free otherwise. Safe
+    /// to call concurrently with the producer's own inline truncation
+    /// (the head advance is serialized and monotonic).
+    pub fn truncate_to_durable_watermark(&self) -> u64 {
+        let wm = self.shared.durable_wm.load(Ordering::Acquire);
+        let reclaimed = self.shared.truncate_to(&self.pmem, wm);
+        if reclaimed > 0 {
+            self.metrics.truncations.inc();
+        }
+        reclaimed
+    }
+
+    /// Stream position of the oldest live word (the truncate point).
+    pub fn head_pos(&self) -> u64 {
+        self.shared.head.load(Ordering::Acquire)
     }
 
     /// Words awaiting consumption.
@@ -854,6 +891,87 @@ mod tests {
         log.truncate_to_watermark(log.tail_pos());
         assert_eq!(env.sim.stats().fences, before);
         assert_eq!(env.sim.stats().wtstore_words, stores);
+    }
+
+    #[test]
+    fn checkpoint_truncates_to_durable_watermark_only() {
+        let (env, mut log) = setup(256);
+        let ckpt = log.truncator(env.regions.pmem_handle());
+        log.append(&[1, 2, 3]).unwrap();
+        log.flush();
+        log.publish_durable_watermark();
+        // A later record is fenced but its data is NOT yet declared
+        // durable: the checkpointer must leave it alone.
+        log.append(&[4, 5]).unwrap();
+        log.flush();
+        let reclaimed = ckpt.truncate_to_durable_watermark();
+        assert!(reclaimed > 0);
+        assert!(log.len_words() > 0, "unprotected record must survive");
+        env.sim.crash(CrashPolicy::DropAll);
+        let (_log, records) = recover(&env);
+        assert_eq!(
+            records,
+            vec![vec![4, 5]],
+            "only the post-watermark record remains"
+        );
+    }
+
+    #[test]
+    fn checkpoint_with_no_new_watermark_is_free_noop() {
+        let (env, mut log) = setup(256);
+        let ckpt = log.truncator(env.regions.pmem_handle());
+        log.append(&[9]).unwrap();
+        log.flush();
+        log.publish_durable_watermark();
+        assert!(ckpt.truncate_to_durable_watermark() > 0);
+        let fences = env.sim.stats().fences;
+        let stores = env.sim.stats().wtstore_words;
+        // Nothing new below the watermark: both repeats are free.
+        assert_eq!(ckpt.truncate_to_durable_watermark(), 0);
+        assert_eq!(ckpt.truncate_to_durable_watermark(), 0);
+        assert_eq!(env.sim.stats().fences, fences);
+        assert_eq!(env.sim.stats().wtstore_words, stores);
+    }
+
+    #[test]
+    fn checkpointer_races_producer_truncation_safely() {
+        let (env, mut log) = setup(128);
+        let ckpt = log.truncator(env.regions.pmem_handle());
+        let total = 300u64;
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = std::sync::Arc::clone(&stop);
+        // Background checkpointer hammers the durable watermark while the
+        // producer appends, publishes, and occasionally truncates inline —
+        // the two truncators must serialize and the head stay monotonic.
+        let consumer = std::thread::spawn(move || {
+            let mut reclaimed = 0u64;
+            while !stop2.load(Ordering::Acquire) {
+                reclaimed += ckpt.truncate_to_durable_watermark();
+                std::thread::yield_now();
+            }
+            reclaimed + ckpt.truncate_to_durable_watermark()
+        });
+        for i in 0..total {
+            loop {
+                match log.append(&[i, i ^ 0xff]) {
+                    Ok(()) => break,
+                    Err(LogError::Full { .. }) => std::thread::yield_now(),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            log.flush();
+            log.publish_durable_watermark();
+            if i % 17 == 0 {
+                log.truncate_to_watermark(log.tail_pos());
+            }
+        }
+        stop.store(true, Ordering::Release);
+        consumer.join().unwrap();
+        // Everything published durable was (eventually) reclaimable.
+        assert_eq!(log.free_words(), 128);
+        env.sim.crash(CrashPolicy::DropAll);
+        let (_log, records) = recover(&env);
+        assert!(records.is_empty(), "all records were checkpointed");
     }
 
     #[test]

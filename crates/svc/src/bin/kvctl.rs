@@ -11,11 +11,18 @@
 //!
 //! Keys/values are taken as UTF-8 from the command line; `get` prints
 //! the value (lossily) to stdout. Exit code 1 means "not found", 2 a
-//! usage error, >2 an I/O or server failure.
+//! usage error, 3 an I/O or server failure, 4 the server shedding load
+//! (`Overloaded`/`Draining` — the request was not applied; retry later).
+//!
+//! Transient failures are retried with bounded exponential backoff:
+//! connect attempts cover a daemon restart window, and `Overloaded`
+//! replies (which are shed before enqueueing, so retrying is safe) are
+//! retried a few times before giving up with exit code 4.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use mnemosyne_svc::Client;
+use mnemosyne_svc::{Client, ClientError};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -30,13 +37,14 @@ fn main() -> ExitCode {
     let (Some(addr), Some(cmd)) = (args.first(), args.get(1)) else {
         return usage();
     };
-    let mut client = match Client::connect(addr) {
+    let mut client = match Client::connect_with_retry(addr, 4, Duration::from_millis(25)) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("kvctl: cannot connect to {addr}: {e}");
             return ExitCode::from(3);
         }
     };
+    client.set_retry(4, Duration::from_millis(5));
     let result = match (cmd.as_str(), args.get(2), args.get(3)) {
         ("ping", None, None) => client.ping().map(|()| {
             println!("PONG");
@@ -90,6 +98,10 @@ fn main() -> ExitCode {
     };
     match result {
         Ok(code) => code,
+        Err(e @ (ClientError::Overloaded | ClientError::Draining)) => {
+            eprintln!("kvctl: {e}");
+            ExitCode::from(4)
+        }
         Err(e) => {
             eprintln!("kvctl: {e}");
             ExitCode::from(3)

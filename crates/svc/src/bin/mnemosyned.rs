@@ -2,14 +2,22 @@
 //!
 //! ```text
 //! mnemosyned --dir DATA [--addr 127.0.0.1:7077] [--workers 2]
-//!            [--max-batch 64] [--scm-mb 64]
+//!            [--max-batch 64] [--scm-mb 64] [--max-conns 256]
+//!            [--max-queue 1024] [--ckpt-ms 50]
 //! ```
 //!
 //! First run creates the persistent heap under `--dir`; later runs
-//! resume it (a graceful shutdown — `kvctl ADDR shutdown` — checkpoints
-//! the media image; an abrupt kill is recovered from the redo logs on
-//! the backing files at next boot). The daemon prints
-//! `listening on ADDR` once it is serving.
+//! resume it (a graceful shutdown — `kvctl ADDR shutdown` — drains the
+//! batcher and checkpoints the media image; an abrupt kill is recovered
+//! from the redo logs on the backing files at next boot). The daemon
+//! prints `listening on ADDR` once it is serving.
+//!
+//! Operationally the daemon degrades rather than stalls: past
+//! `--max-conns` connections or `--max-queue` queued requests it
+//! answers `Overloaded` (shed before enqueueing, safe to retry), and a
+//! background checkpointer (`--ckpt-ms`, 0 disables) truncates the redo
+//! logs every interval so outstanding log bytes stay bounded under
+//! sustained writes.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,12 +31,16 @@ struct Args {
     workers: usize,
     max_batch: usize,
     scm_mb: u64,
+    max_conns: usize,
+    max_queue: usize,
+    ckpt_ms: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: mnemosyned --dir DATA [--addr 127.0.0.1:7077] [--workers 2] \
-         [--max-batch 64] [--scm-mb 64]"
+         [--max-batch 64] [--scm-mb 64] [--max-conns 256] [--max-queue 1024] \
+         [--ckpt-ms 50]"
     );
     std::process::exit(2);
 }
@@ -40,6 +52,9 @@ fn parse_args() -> Args {
         workers: 2,
         max_batch: 64,
         scm_mb: 64,
+        max_conns: 256,
+        max_queue: 1024,
+        ckpt_ms: 50,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -50,6 +65,9 @@ fn parse_args() -> Args {
             "--workers" => args.workers = val().parse().unwrap_or_else(|_| usage()),
             "--max-batch" => args.max_batch = val().parse().unwrap_or_else(|_| usage()),
             "--scm-mb" => args.scm_mb = val().parse().unwrap_or_else(|_| usage()),
+            "--max-conns" => args.max_conns = val().parse().unwrap_or_else(|_| usage()),
+            "--max-queue" => args.max_queue = val().parse().unwrap_or_else(|_| usage()),
+            "--ckpt-ms" => args.ckpt_ms = val().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -77,6 +95,9 @@ fn main() -> ExitCode {
         SvcConfig {
             workers: args.workers,
             max_batch: args.max_batch,
+            max_conns: args.max_conns,
+            max_queue: args.max_queue,
+            ckpt_interval: std::time::Duration::from_millis(args.ckpt_ms),
             ..SvcConfig::default()
         },
     ) {

@@ -4,11 +4,75 @@
 //! ([`Client::get`], [`Client::put`], …) and a split pipelined surface
 //! ([`Client::send`] / [`Client::recv`]) where any number of requests
 //! can be in flight; responses arrive in request order.
+//!
+//! The typed surface returns [`ClientError`], which distinguishes the
+//! server's degradation signals ([`ClientError::Overloaded`],
+//! [`ClientError::Draining`]) from hard failures. Overload is always
+//! safe to retry — the server sheds *before* enqueueing — and
+//! [`Client::set_retry`] makes the typed calls do so themselves with
+//! bounded exponential backoff.
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
-use crate::proto::{read_response, write_request, ProtoError, Request, Response};
+use crate::proto::{read_response, write_request, FrameError, ProtoError, Request, Response};
+
+/// Why a typed client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, hangup).
+    Io(std::io::Error),
+    /// The byte stream violated the framing protocol.
+    Frame(FrameError),
+    /// The server shed the request under admission control. It was
+    /// never enqueued, so retrying (after backoff) is always safe.
+    Overloaded,
+    /// The server is draining for shutdown and admits no new work.
+    Draining,
+    /// The server answered with an error message.
+    Server(String),
+    /// The server answered with a response that does not match the
+    /// request — a protocol bug on one side or the other.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "protocol error: {e}"),
+            ClientError::Overloaded => write!(f, "server overloaded (request shed, retry later)"),
+            ClientError::Draining => write!(f, "server draining for shutdown"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Unexpected(resp) => write!(f, "unexpected response: {resp}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> ClientError {
+        match e {
+            ProtoError::Io(e) => ClientError::Io(e),
+            ProtoError::Frame(e) => ClientError::Frame(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// Exponential backoff for attempt `attempt` (0-based), capped at 250ms
+/// so a bounded retry budget stays bounded in wall time too.
+fn backoff_delay(base: Duration, attempt: u32) -> Duration {
+    base.saturating_mul(1u32 << attempt.min(16))
+        .min(Duration::from_millis(250))
+}
 
 /// A blocking connection to a `mnemosyned` server.
 pub struct Client {
@@ -16,6 +80,10 @@ pub struct Client {
     w: BufWriter<TcpStream>,
     /// Requests sent but not yet answered.
     in_flight: usize,
+    /// Extra attempts for a typed call answered `Overloaded` (0 = off).
+    retries: u32,
+    /// Base backoff delay, doubled per retry.
+    backoff: Duration,
 }
 
 impl Client {
@@ -31,7 +99,43 @@ impl Client {
             r,
             w: BufWriter::new(stream),
             in_flight: 0,
+            retries: 0,
+            backoff: Duration::from_millis(1),
         })
+    }
+
+    /// Connects with bounded exponential backoff: up to `attempts` tries
+    /// total, sleeping `base`, `2*base`, `4*base`, … (capped at 250ms)
+    /// between them. Covers the restart window of a supervised daemon.
+    ///
+    /// # Errors
+    /// The last connect failure, once the budget is spent.
+    pub fn connect_with_retry<A: ToSocketAddrs>(
+        addr: A,
+        attempts: u32,
+        base: Duration,
+    ) -> std::io::Result<Client> {
+        let mut attempt = 0u32;
+        loop {
+            match Client::connect(&addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if attempt + 1 < attempts.max(1) => {
+                    std::thread::sleep(backoff_delay(base, attempt));
+                    attempt += 1;
+                    drop(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Makes the typed calls retry an [`Response::Overloaded`] answer up
+    /// to `retries` extra times, backing off exponentially from `base`.
+    /// Safe by construction: the server sheds before enqueueing, so a
+    /// retried request can never double-apply.
+    pub fn set_retry(&mut self, retries: u32, base: Duration) {
+        self.retries = retries;
+        self.backoff = base;
     }
 
     /// Queues a request without waiting for its response (buffered; use
@@ -78,31 +182,42 @@ impl Client {
         self.in_flight
     }
 
-    fn call(&mut self, req: &Request) -> Result<Response, ProtoError> {
-        self.send(req)?;
-        self.recv()
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            self.send(req)?;
+            let resp = self.recv()?;
+            if matches!(resp, Response::Overloaded) && attempt < self.retries {
+                std::thread::sleep(backoff_delay(self.backoff, attempt));
+                attempt += 1;
+                continue;
+            }
+            return Ok(resp);
+        }
     }
 
     /// Liveness check.
     ///
     /// # Errors
-    /// Socket/protocol failures.
-    pub fn ping(&mut self) -> Result<(), ProtoError> {
+    /// Socket/protocol failures, overload shedding, or a server-side
+    /// error reply.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
         match self.call(&Request::Ping)? {
             Response::Pong => Ok(()),
-            other => Err(unexpected(&other)),
+            other => Err(fail(other)),
         }
     }
 
     /// Looks up `key`.
     ///
     /// # Errors
-    /// Socket/protocol failures or a server-side error reply.
-    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, ProtoError> {
+    /// Socket/protocol failures, overload shedding, or a server-side
+    /// error reply.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, ClientError> {
         match self.call(&Request::Get(key.to_vec()))? {
             Response::Value(v) => Ok(Some(v)),
             Response::NotFound => Ok(None),
-            other => Err(unexpected(&other)),
+            other => Err(fail(other)),
         }
     }
 
@@ -110,23 +225,25 @@ impl Client {
     /// committed on the server.
     ///
     /// # Errors
-    /// Socket/protocol failures or a server-side error reply.
-    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), ProtoError> {
+    /// Socket/protocol failures, overload shedding, or a server-side
+    /// error reply.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), ClientError> {
         match self.call(&Request::Put(key.to_vec(), value.to_vec()))? {
             Response::Ok => Ok(()),
-            other => Err(unexpected(&other)),
+            other => Err(fail(other)),
         }
     }
 
     /// Durably removes `key`; `Ok(true)` when it existed.
     ///
     /// # Errors
-    /// Socket/protocol failures or a server-side error reply.
-    pub fn del(&mut self, key: &[u8]) -> Result<bool, ProtoError> {
+    /// Socket/protocol failures, overload shedding, or a server-side
+    /// error reply.
+    pub fn del(&mut self, key: &[u8]) -> Result<bool, ClientError> {
         match self.call(&Request::Del(key.to_vec()))? {
             Response::Ok => Ok(true),
             Response::NotFound => Ok(false),
-            other => Err(unexpected(&other)),
+            other => Err(fail(other)),
         }
     }
 
@@ -134,36 +251,40 @@ impl Client {
     /// (0 = unlimited).
     ///
     /// # Errors
-    /// Socket/protocol failures or a server-side error reply.
+    /// Socket/protocol failures, overload shedding, or a server-side
+    /// error reply.
     #[allow(clippy::type_complexity)]
     pub fn scan(
         &mut self,
         prefix: &[u8],
         limit: u32,
-    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, ProtoError> {
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, ClientError> {
         match self.call(&Request::Scan(prefix.to_vec(), limit))? {
             Response::Entries(entries) => Ok(entries),
-            other => Err(unexpected(&other)),
+            other => Err(fail(other)),
         }
     }
 
-    /// Asks the daemon to power down gracefully (checkpoint + save the
-    /// media image).
+    /// Asks the daemon to drain (commit everything accepted), then power
+    /// down gracefully. `Ok` means every previously acknowledged write
+    /// is settled.
     ///
     /// # Errors
-    /// Socket/protocol failures or a server-side error reply.
-    pub fn shutdown(&mut self) -> Result<(), ProtoError> {
+    /// Socket/protocol failures, overload shedding, or a server-side
+    /// error reply.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.call(&Request::Shutdown)? {
             Response::Ok => Ok(()),
-            other => Err(unexpected(&other)),
+            other => Err(fail(other)),
         }
     }
 }
 
-fn unexpected(resp: &Response) -> ProtoError {
-    let msg = match resp {
-        Response::Err(e) => format!("server error: {e}"),
-        other => format!("unexpected response: {other:?}"),
-    };
-    ProtoError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, msg))
+fn fail(resp: Response) -> ClientError {
+    match resp {
+        Response::Err(e) => ClientError::Server(e),
+        Response::Overloaded => ClientError::Overloaded,
+        Response::Draining => ClientError::Draining,
+        other => ClientError::Unexpected(format!("{other:?}")),
+    }
 }

@@ -24,7 +24,9 @@
 //!   and the matching blocking client.
 //!
 //! Telemetry: `svc.requests`, `svc.conns`, `svc.recoveries`,
-//! `svc.batch_size`, `svc.request_ns` (see METRICS.md).
+//! `svc.batch_size`, `svc.request_ns`, plus the degradation counters
+//! `svc.overload.shed`, `svc.overload.conns_rejected` and `svc.drains`
+//! (see METRICS.md).
 //!
 //! Binaries: `mnemosyned` (the daemon) and `kvctl` (a one-shot CLI
 //! client). A killed daemon loses nothing acknowledged: restart with the
@@ -37,7 +39,7 @@ pub mod proto;
 pub mod server;
 pub mod service;
 
-pub use client::Client;
+pub use client::{Client, ClientError};
 pub use proto::{FrameError, ProtoError, Request, Response};
 pub use server::KvServer;
 pub use service::{KvService, SvcConfig, Ticket};

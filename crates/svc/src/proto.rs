@@ -36,6 +36,8 @@ mod op {
     pub const VALUE: u8 = 0x84;
     pub const ENTRIES: u8 = 0x85;
     pub const ERR: u8 = 0x86;
+    pub const OVERLOADED: u8 = 0x87;
+    pub const DRAINING: u8 = 0x88;
 }
 
 /// Everything that can be wrong with a frame's bytes. Typed so callers
@@ -157,6 +159,13 @@ pub enum Response {
     Entries(Vec<(Vec<u8>, Vec<u8>)>),
     /// The request failed; the payload says why.
     Err(String),
+    /// Admission control shed the request (queue or connection limit).
+    /// The request was **never enqueued**, so retrying it is always
+    /// safe; clients should back off exponentially first.
+    Overloaded,
+    /// The server is draining for shutdown and accepts no new work.
+    /// Like [`Response::Overloaded`], the request was never enqueued.
+    Draining,
 }
 
 /// Cursor over a frame payload, enforcing bounds on every read.
@@ -337,6 +346,8 @@ impl Response {
                 p.push(op::ERR);
                 put_bytes(&mut p, msg.as_bytes());
             }
+            Response::Overloaded => p.push(op::OVERLOADED),
+            Response::Draining => p.push(op::DRAINING),
         }
         frame(p)
     }
@@ -378,6 +389,8 @@ impl Response {
                 let msg = String::from_utf8(raw).map_err(|_| FrameError::BadUtf8)?;
                 Response::Err(msg)
             }
+            op::OVERLOADED => Response::Overloaded,
+            op::DRAINING => Response::Draining,
             other => return Err(FrameError::UnknownOpcode(other)),
         };
         r.finish()?;
@@ -489,6 +502,8 @@ mod tests {
             Response::Value(b"v".to_vec()),
             Response::Entries(vec![(b"a".to_vec(), b"1".to_vec()), (vec![], vec![])]),
             Response::Err("boom".to_string()),
+            Response::Overloaded,
+            Response::Draining,
         ];
         for resp in cases {
             let bytes = resp.encode();

@@ -12,7 +12,7 @@
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
@@ -24,6 +24,8 @@ use crate::service::{KvService, Ticket};
 struct ServerShared {
     svc: KvService,
     stop: AtomicBool,
+    /// Live connection count, for `max_conns` admission control.
+    active: AtomicUsize,
     /// Set when a client sends SHUTDOWN (or by [`KvServer::request_shutdown`]);
     /// the daemon main loop waits on it to begin an orderly power-down.
     shutdown: Mutex<bool>,
@@ -58,6 +60,7 @@ impl KvServer {
         let shared = Arc::new(ServerShared {
             svc,
             stop: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
             shutdown: Mutex::new(false),
             shutdown_cv: Condvar::new(),
             conns: Mutex::new(Vec::new()),
@@ -117,10 +120,26 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
             return;
         }
         let Ok(stream) = stream else { continue };
+        let max = shared.svc.max_conns();
+        if max > 0 && shared.active.load(Ordering::SeqCst) >= max {
+            // Over the connection bound: refuse with one typed frame
+            // instead of accepting work we can't serve (or silently
+            // hanging the client in the kernel backlog).
+            shared.svc.metrics().overload_conns.inc();
+            let mut w = BufWriter::new(&stream);
+            let _ = write_response(&mut w, &Response::Overloaded);
+            let _ = w.flush();
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
         shared.svc.metrics().conns.inc();
+        shared.active.fetch_add(1, Ordering::SeqCst);
         let handle = match stream.try_clone() {
             Ok(h) => h,
-            Err(_) => continue,
+            Err(_) => {
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
         };
         let join = {
             let shared = Arc::clone(shared);
@@ -140,6 +159,7 @@ fn serve_conn(stream: TcpStream, shared: &Arc<ServerShared>) {
     read_loop(reader, shared, &tx);
     drop(tx); // writer drains outstanding tickets, then exits
     let _ = writer.join();
+    shared.active.fetch_sub(1, Ordering::SeqCst);
 }
 
 fn read_loop(
@@ -150,8 +170,17 @@ fn read_loop(
     loop {
         let ticket = match read_request(&mut reader) {
             Ok(Some(Request::Shutdown)) => {
+                // Drain before acking: every request queued or in flight
+                // anywhere on the service commits (or fails) first, so
+                // the SHUTDOWN ack means "all accepted writes are
+                // settled and no new work will be admitted".
+                let drained = shared.svc.drain();
                 shared.request_shutdown();
-                Ticket::ready(Response::Ok)
+                Ticket::ready(if drained {
+                    Response::Ok
+                } else {
+                    Response::Err("service unavailable".to_string())
+                })
             }
             Ok(Some(req)) => shared.svc.submit(req),
             // Clean EOF: the client hung up between frames.
@@ -171,8 +200,8 @@ fn read_loop(
 }
 
 fn write_loop(stream: TcpStream, rx: &mpsc::Receiver<Ticket>) {
-    let mut w = BufWriter::new(stream);
-    while let Ok(first) = rx.recv() {
+    let mut w = BufWriter::new(&stream);
+    'conn: while let Ok(first) = rx.recv() {
         // Write responses back-to-back while more tickets are already
         // queued, then flush once — the syscall-batching half of
         // pipelining.
@@ -180,7 +209,7 @@ fn write_loop(stream: TcpStream, rx: &mpsc::Receiver<Ticket>) {
         loop {
             let resp = ticket.wait();
             if write_response(&mut w, &resp).is_err() {
-                return;
+                break 'conn;
             }
             match rx.try_recv() {
                 Ok(next) => ticket = next,
@@ -188,7 +217,13 @@ fn write_loop(stream: TcpStream, rx: &mpsc::Receiver<Ticket>) {
             }
         }
         if w.flush().is_err() {
-            return;
+            break;
         }
     }
+    drop(w);
+    // The conns registry holds a clone of this socket for forced stop;
+    // shut the socket itself down so the peer sees EOF the moment its
+    // connection is done (poisoned frame, service shutdown), not when
+    // the whole server stops.
+    let _ = stream.shutdown(Shutdown::Both);
 }

@@ -20,6 +20,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -50,6 +51,22 @@ pub struct SvcConfig {
     pub buckets: u64,
     /// `pstatic` name of the table root — one service per name.
     pub table: String,
+    /// Admission control: most requests allowed to wait in the batcher
+    /// queue. Submissions past the bound are answered
+    /// [`Response::Overloaded`] without ever being enqueued, so the
+    /// server degrades with a typed signal instead of unbounded memory
+    /// growth and silent latency. Zero disables the bound.
+    pub max_queue: usize,
+    /// Admission control: most concurrent TCP connections. Connections
+    /// past the bound get one [`Response::Overloaded`] frame and are
+    /// closed. Zero disables the bound.
+    pub max_conns: usize,
+    /// Background checkpoint cadence: every interval, a driver thread
+    /// truncates the redo and heap logs down to their durable
+    /// watermarks so outstanding log bytes stay bounded under sustained
+    /// writes. Zero disables the driver (default — harnesses that need
+    /// deterministic fault-point enumeration checkpoint explicitly).
+    pub ckpt_interval: std::time::Duration,
 }
 
 impl Default for SvcConfig {
@@ -60,6 +77,9 @@ impl Default for SvcConfig {
             batch_window: std::time::Duration::from_micros(100),
             buckets: 256,
             table: "kv".to_string(),
+            max_queue: 1024,
+            max_conns: 256,
+            ckpt_interval: std::time::Duration::ZERO,
         }
     }
 }
@@ -72,6 +92,9 @@ pub(crate) struct SvcMetrics {
     pub(crate) recoveries: Counter,
     pub(crate) batch_size: Histogram,
     pub(crate) request_ns: Histogram,
+    pub(crate) overload_shed: Counter,
+    pub(crate) overload_conns: Counter,
+    pub(crate) drains: Counter,
 }
 
 impl SvcMetrics {
@@ -82,6 +105,9 @@ impl SvcMetrics {
             recoveries: t.counter("svc.recoveries", Unit::Count),
             batch_size: t.histogram("svc.batch_size", Unit::Count),
             request_ns: t.histogram("svc.request_ns", Unit::Nanoseconds),
+            overload_shed: t.counter("svc.overload.shed", Unit::Count),
+            overload_conns: t.counter("svc.overload.conns_rejected", Unit::Count),
+            drains: t.counter("svc.drains", Unit::Count),
         }
     }
 }
@@ -164,6 +190,13 @@ struct PendingReq {
 
 struct QueueState {
     pending: VecDeque<PendingReq>,
+    /// Requests a worker has pulled off the queue but not yet answered.
+    /// [`KvService::drain`] waits for both this and `pending` to hit
+    /// zero before acknowledging a shutdown.
+    inflight: usize,
+    /// Draining for shutdown: new submissions are answered
+    /// [`Response::Draining`]; queued and in-flight work still commits.
+    draining: bool,
     /// Graceful stop: workers drain what is queued, then exit.
     stop: bool,
     /// The machine died (injected crash or worker panic): fail
@@ -176,10 +209,13 @@ struct Inner {
     table: PHashTable,
     max_batch: usize,
     batch_window: std::time::Duration,
+    max_queue: usize,
+    max_conns: usize,
     queue: Mutex<QueueState>,
     cv: Condvar,
     metrics: SvcMetrics,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    ckpt: Mutex<Option<(Arc<AtomicBool>, JoinHandle<()>)>>,
 }
 
 impl Inner {
@@ -237,18 +273,33 @@ impl KvService {
             table,
             max_batch: config.max_batch.max(1),
             batch_window: config.batch_window,
+            max_queue: config.max_queue,
+            max_conns: config.max_conns,
             queue: Mutex::new(QueueState {
                 pending: VecDeque::new(),
+                inflight: 0,
+                draining: false,
                 stop: false,
                 dead: false,
             }),
             cv: Condvar::new(),
             metrics,
             workers: Mutex::new(Vec::new()),
+            ckpt: Mutex::new(None),
         });
         let svc = KvService { inner };
         for _ in 0..config.workers {
             svc.spawn_worker();
+        }
+        if !config.ckpt_interval.is_zero() {
+            let stop = Arc::new(AtomicBool::new(false));
+            let join = {
+                let inner = Arc::clone(&svc.inner);
+                let stop = Arc::clone(&stop);
+                let interval = config.ckpt_interval;
+                std::thread::spawn(move || ckpt_loop(&inner, interval, &stop))
+            };
+            *svc.inner.ckpt.lock() = Some((stop, join));
         }
         Ok(svc)
     }
@@ -275,6 +326,17 @@ impl KvService {
                 cell.complete(Response::Err("service unavailable".to_string()));
                 return ticket;
             }
+            if q.draining {
+                drop(q);
+                cell.complete(Response::Draining);
+                return ticket;
+            }
+            if self.inner.max_queue > 0 && q.pending.len() >= self.inner.max_queue {
+                drop(q);
+                self.inner.metrics.overload_shed.inc();
+                cell.complete(Response::Overloaded);
+                return ticket;
+            }
             q.pending.push_back(PendingReq { req, cell });
         }
         self.inner.cv.notify_one();
@@ -293,10 +355,47 @@ impl KvService {
         q.stop || q.dead
     }
 
+    /// Drains for shutdown: new submissions are refused with
+    /// [`Response::Draining`], then this blocks until every queued and
+    /// in-flight request has been committed and answered. Returns `false`
+    /// if the machine died instead (nothing more will commit). The
+    /// workers stay up — call [`KvService::stop`] afterwards.
+    ///
+    /// This is what makes an acknowledged SHUTDOWN meaningful: by the
+    /// time the ack frame leaves the server, every write the service
+    /// accepted has either been durably committed or answered with an
+    /// error — none are silently dropped on the floor.
+    pub fn drain(&self) -> bool {
+        let mut q = self.inner.queue.lock();
+        q.draining = true;
+        while !q.pending.is_empty() || q.inflight > 0 {
+            if q.dead {
+                return false;
+            }
+            // Workers share this condvar, so a submit's notify_one may
+            // have landed here instead of on a worker: re-notify and use
+            // a timed wait rather than risk a lost wakeup.
+            self.inner.cv.notify_one();
+            self.inner
+                .cv
+                .wait_for(&mut q, std::time::Duration::from_millis(1));
+        }
+        let dead = q.dead;
+        drop(q);
+        if !dead {
+            self.inner.metrics.drains.inc();
+        }
+        !dead
+    }
+
     /// Graceful stop: already-queued requests are still committed and
     /// acknowledged, then the workers exit and are joined. New submissions
     /// fail immediately. Idempotent.
     pub fn stop(&self) {
+        if let Some((stop, join)) = self.inner.ckpt.lock().take() {
+            stop.store(true, Ordering::SeqCst);
+            let _ = join.join();
+        }
         {
             let mut q = self.inner.queue.lock();
             q.stop = true;
@@ -310,6 +409,39 @@ impl KvService {
 
     pub(crate) fn metrics(&self) -> &SvcMetrics {
         &self.inner.metrics
+    }
+
+    pub(crate) fn max_conns(&self) -> usize {
+        self.inner.max_conns
+    }
+}
+
+/// The background checkpoint driver: every `interval`, truncate the redo
+/// and heap logs down to their durable watermarks so outstanding log
+/// bytes stay bounded no matter how long the write workload runs. Under
+/// fault injection the truncation primitives are themselves crash
+/// points; an injected crash here kills the service like any other
+/// machine death (and the sweep then checks recovery still honours every
+/// acknowledged write).
+fn ckpt_loop(inner: &Arc<Inner>, interval: std::time::Duration, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        if stop.load(Ordering::SeqCst) || inner.queue.lock().dead {
+            return;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if inner.mtm.outstanding_log_words() > 0 {
+                inner.mtm.checkpoint();
+            }
+        }));
+        if let Err(payload) = outcome {
+            let why = match crash_payload(&*payload) {
+                Some(req) => format!("machine crashed: {req}"),
+                None => "checkpoint driver panicked".to_string(),
+            };
+            inner.mark_dead(&why);
+            return;
+        }
     }
 }
 
@@ -405,6 +537,7 @@ fn worker_loop(inner: &Arc<Inner>) {
                 }
             }
             let n = q.pending.len().min(inner.max_batch);
+            q.inflight += n;
             q.pending.drain(..n).collect()
         };
         // More work may remain for an idle sibling.
@@ -414,6 +547,7 @@ fn worker_loop(inner: &Arc<Inner>) {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             exec_batch(&inner.table, &mut th, &batch)
         }));
+        let mut died = None;
         match outcome {
             Ok(Ok(replies)) => {
                 let ns = timer.stop(&th);
@@ -444,9 +578,18 @@ fn worker_loop(inner: &Arc<Inner>) {
                 for p in &batch {
                     p.cell.complete(Response::Err(why.clone()));
                 }
-                inner.mark_dead(&why);
-                return;
+                died = Some(why);
             }
+        }
+        {
+            let mut q = inner.queue.lock();
+            q.inflight -= batch.len();
+        }
+        // Wake a drain() that may be waiting for inflight to hit zero.
+        inner.cv.notify_all();
+        if let Some(why) = died {
+            inner.mark_dead(&why);
+            return;
         }
     }
 }

@@ -1,0 +1,278 @@
+//! Operational-resilience tests: the background checkpointer bounds the
+//! outstanding redo log without ever losing an acknowledged write, and
+//! parallel recovery — even crashed mid-replay — is exactly as safe as
+//! the serial replay it replaces.
+//!
+//! Crash sweeps here root their scratch space under
+//! `target/crash-corpus/<name>` instead of the temp dir: a failing crash
+//! point keeps its directory (media image, logs), and CI uploads the
+//! whole corpus as an artifact on test failure.
+
+use std::path::PathBuf;
+
+use mnemosyne::{crash_sweep, CrashPolicy, Mnemosyne, ScmConfig, SweepConfig, Truncation};
+
+/// Sweep scratch root that CI uploads on failure.
+fn corpus_dir(tag: &str) -> PathBuf {
+    let d = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join("../crash-corpus")
+        .join(tag);
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn dir(tag: &str) -> PathBuf {
+    static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = N.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!("it-resil-{tag}-{}-{n}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// With `sync_truncate_pct(90)` commits never truncate on their own
+/// below 90% occupancy, so a sustained writer grows the backlog without
+/// bound — unless checkpoints truncate it. This is the boundedness
+/// claim: checkpoint cadence, not workload length, bounds the
+/// outstanding log.
+#[test]
+fn checkpoints_bound_outstanding_log_under_sustained_writes() {
+    let d = dir("bound");
+    // (`crash` + the same builder rather than `crash_reboot`, since
+    // `log_words` shapes the region layout.)
+    let build = |dir: &std::path::Path| {
+        Mnemosyne::builder(dir)
+            .scm_config(ScmConfig::virtual_clock(32 << 20))
+            .truncation(Truncation::Sync)
+            .sync_truncate_pct(90)
+            .log_words(1 << 14)
+    };
+    let m = build(&d).open().unwrap();
+    let cell = m.pstatic("sustained", 256).unwrap();
+    let mut th = m.register_thread().unwrap();
+    let mut grew = false;
+    let mut hwm = 0u64;
+    for round in 0..16u64 {
+        for i in 0..40u64 {
+            th.atomic(|tx| {
+                tx.write_u64(cell.add((i % 32) * 8), round * 1000 + i)?;
+                Ok(())
+            })
+            .unwrap();
+        }
+        let before = m.mtm().outstanding_log_words();
+        grew |= before > 0;
+        hwm = hwm.max(before);
+        let stats = m.mtm().checkpoint();
+        assert_eq!(stats.outstanding_before, before);
+        assert_eq!(
+            m.mtm().outstanding_log_words(),
+            0,
+            "checkpoint left a backlog in round {round}"
+        );
+    }
+    assert!(grew, "workload never built a backlog — test is vacuous");
+    // 16 checkpointed rounds; unchecked, the backlog would be ~16x one
+    // round's. The high-water mark must stay at a single round's worth.
+    assert!(
+        hwm < (1 << 14) / 2,
+        "outstanding log {hwm} words not bounded by the checkpoint cadence"
+    );
+    let snap = m.telemetry().snapshot();
+    assert!(snap.counter("mtm.ckpt.runs") >= 16);
+    assert!(snap.counter("mtm.ckpt.words") > 0);
+    drop(th);
+    // And nothing was lost: the last round's values survive a crash.
+    let (d, image) = m.crash(CrashPolicy::DropAll);
+    let m = build(&d).from_image(image).open().unwrap();
+    let cell = m.pstatic("sustained", 256).unwrap();
+    let mut th = m.register_thread().unwrap();
+    let v = th.atomic(|tx| tx.read_u64(cell.add(8))).unwrap();
+    assert_eq!(v, 15 * 1000 + 33);
+    std::fs::remove_dir_all(&d).ok();
+}
+
+/// A checkpoint's truncation primitives are crash points like any
+/// other. Sweeping a workload that checkpoints every few transactions
+/// proves dying *inside* a checkpoint never loses an acknowledged
+/// (committed) write — the truncation moves `head` only after the
+/// durable watermark, so any torn state replays correctly.
+#[test]
+fn crash_sweep_with_mid_workload_checkpoints_loses_nothing() {
+    let base = corpus_dir("ckpt-sweep");
+    let cfg = SweepConfig {
+        max_points: 20,
+        recovery_points: 0,
+        ..SweepConfig::default()
+    };
+    let report = crash_sweep(
+        &base,
+        &cfg,
+        |p| {
+            Mnemosyne::builder(p)
+                .scm_config(ScmConfig::virtual_clock(8 << 20))
+                .truncation(Truncation::Sync)
+                .sync_truncate_pct(90)
+        },
+        |m| {
+            let cell = m.pstatic("ckptcell", 8)?;
+            let mut th = m.register_thread()?;
+            for i in 0..8u64 {
+                th.atomic(|tx| {
+                    let v = tx.read_u64(cell)?;
+                    tx.write_u64(cell, v + 1)?;
+                    Ok(())
+                })?;
+                // Checkpoint from the workload thread: deterministic
+                // primitive counts, so the sweep strides through the
+                // truncation primitives themselves.
+                if i % 2 == 1 {
+                    m.mtm().checkpoint();
+                }
+            }
+            Ok(())
+        },
+        |m| {
+            let cell = m.pstatic("ckptcell", 8).map_err(|e| e.to_string())?;
+            let mut th = m.register_thread().map_err(|e| e.to_string())?;
+            let v = th
+                .atomic(|tx| tx.read_u64(cell))
+                .map_err(|e| e.to_string())?;
+            if v <= 8 {
+                Ok(())
+            } else {
+                Err(format!("counter {v} exceeds the 8 increments ever made"))
+            }
+        },
+    )
+    .unwrap();
+    assert!(report.passed(), "failures: {:?}", report.failures);
+    assert!(report.crashes_fired > 0);
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Double fault through the *parallel* replay path: every workload crash
+/// point is followed by crashes scheduled inside 4-thread recovery
+/// itself (scan and replay workers both issue counted primitives), and a
+/// clean reboot afterwards must still satisfy the invariant.
+#[test]
+fn double_fault_during_parallel_replay_loses_nothing() {
+    let base = corpus_dir("replay-sweep");
+    let cfg = SweepConfig {
+        max_points: 6,
+        recovery_points: 3,
+        ..SweepConfig::default()
+    };
+    let report = crash_sweep(
+        &base,
+        &cfg,
+        |p| {
+            Mnemosyne::builder(p)
+                .scm_config(ScmConfig::virtual_clock(8 << 20))
+                .truncation(Truncation::Sync)
+                // Keep records lingering so recovery always has a real
+                // multi-record backlog to replay in parallel.
+                .sync_truncate_pct(90)
+                .recovery_threads(4)
+        },
+        |m| {
+            let cell = m.pstatic("dblcell", 64)?;
+            let mut th = m.register_thread()?;
+            for i in 0..6u64 {
+                th.atomic(|tx| {
+                    let v = tx.read_u64(cell)?;
+                    tx.write_u64(cell, v + 1)?;
+                    // Touch neighbouring lines too, so the replay
+                    // stream spans several address partitions.
+                    tx.write_u64(cell.add(8 + (i % 7) * 8), v)?;
+                    Ok(())
+                })?;
+            }
+            Ok(())
+        },
+        |m| {
+            let cell = m.pstatic("dblcell", 64).map_err(|e| e.to_string())?;
+            let mut th = m.register_thread().map_err(|e| e.to_string())?;
+            let v = th
+                .atomic(|tx| tx.read_u64(cell))
+                .map_err(|e| e.to_string())?;
+            if v <= 6 {
+                Ok(())
+            } else {
+                Err(format!("counter {v} exceeds the 6 increments ever made"))
+            }
+        },
+    )
+    .unwrap();
+    assert!(report.passed(), "failures: {:?}", report.failures);
+    assert!(report.recovery_points_tested > 0);
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Parallel replay must be write-for-write equivalent to serial replay:
+/// reboot the same crash image at 1 and 4 threads and compare the
+/// recovered state word for word.
+#[test]
+fn parallel_replay_matches_serial_replay() {
+    let d = dir("equiv");
+    let build = |dir: &std::path::Path| {
+        Mnemosyne::builder(dir)
+            .scm_config(ScmConfig::virtual_clock(16 << 20))
+            .truncation(Truncation::Sync)
+            .sync_truncate_pct(90)
+            .max_threads(6)
+    };
+    let m = build(&d).open().unwrap();
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let m = &m;
+            s.spawn(move || {
+                let area = m.pstatic(&format!("eq{t}"), 64 * 8).unwrap();
+                let mut th = m.register_thread().unwrap();
+                for i in 0..50u64 {
+                    th.atomic(|tx| {
+                        tx.write_u64(area.add((i % 64) * 8), t * 10_000 + i)?;
+                        tx.write_u64(area.add(((i + 13) % 64) * 8), t * 10_000 + i + 1)?;
+                        Ok(())
+                    })
+                    .unwrap();
+                }
+            });
+        }
+    });
+    assert!(m.mtm().outstanding_log_words() > 0);
+    let (d, image) = m.crash(CrashPolicy::DropAll);
+
+    let read_all = |m: &Mnemosyne| -> Vec<u64> {
+        let mut th = m.register_thread().unwrap();
+        let mut out = Vec::new();
+        for t in 0..4u64 {
+            let area = m.pstatic(&format!("eq{t}"), 64 * 8).unwrap();
+            for w in 0..64u64 {
+                out.push(th.atomic(|tx| tx.read_u64(area.add(w * 8))).unwrap());
+            }
+        }
+        out
+    };
+
+    let serial = {
+        let m = build(&d)
+            .from_image(image.clone())
+            .recovery_threads(1)
+            .open()
+            .unwrap();
+        assert_eq!(m.mtm().recovery_stats().threads, 1);
+        assert!(m.mtm().recovery_stats().replayed > 0);
+        read_all(&m)
+    };
+    let parallel = {
+        let m = build(&d)
+            .from_image(image)
+            .recovery_threads(4)
+            .open()
+            .unwrap();
+        assert_eq!(m.mtm().recovery_stats().threads, 4);
+        read_all(&m)
+    };
+    assert_eq!(serial, parallel, "parallel replay diverged from serial");
+    std::fs::remove_dir_all(&d).ok();
+}

@@ -141,13 +141,61 @@ fn fig7_abort_rate_computable_from_telemetry() {
         j.join().unwrap();
     }
 
+    // The hammer above makes conflicts likely but not certain (commit
+    // holds word locks only briefly), so manufacture one deterministic
+    // conflict: one thread parks inside a transaction that owns the
+    // word until another thread's attempt on the same word has
+    // provably aborted.
+    let base_aborts = m.mtm().stats().aborts;
+    let locked = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let release = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let holder = {
+        let m = std::sync::Arc::clone(&m);
+        let locked = std::sync::Arc::clone(&locked);
+        let release = std::sync::Arc::clone(&release);
+        std::thread::spawn(move || {
+            let mut th = m.register_thread().unwrap();
+            th.atomic(|tx| {
+                let v = tx.read_u64(cell)?;
+                tx.write_u64(cell, v + 1)?;
+                locked.store(true, std::sync::atomic::Ordering::Release);
+                while !release.load(std::sync::atomic::Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                Ok(())
+            })
+            .unwrap();
+        })
+    };
+    while !locked.load(std::sync::atomic::Ordering::Acquire) {
+        std::thread::yield_now();
+    }
+    let contender = {
+        let m = std::sync::Arc::clone(&m);
+        std::thread::spawn(move || {
+            let mut th = m.register_thread().unwrap();
+            th.atomic(|tx| {
+                let v = tx.read_u64(cell)?;
+                tx.write_u64(cell, v + 1)?;
+                Ok(())
+            })
+            .unwrap();
+        })
+    };
+    while m.mtm().stats().aborts == base_aborts {
+        std::thread::yield_now();
+    }
+    release.store(true, std::sync::atomic::Ordering::Release);
+    holder.join().unwrap();
+    contender.join().unwrap();
+
     let snap = m.telemetry().snapshot();
     let stats = m.mtm().stats();
     assert_eq!(snap.counter("mtm.aborts"), stats.aborts);
     assert_eq!(snap.counter("mtm.commits"), stats.commits);
     assert!(
         snap.counter("mtm.aborts") >= 1,
-        "4 threads hammering one word must conflict at least once"
+        "a transaction attempting a word owned by a parked transaction must abort"
     );
     let attempts = snap.counter("mtm.tx_begins");
     let abort_rate = snap.counter("mtm.aborts") as f64 / attempts as f64;
