@@ -676,6 +676,21 @@ impl MtmRuntime {
         self.heap.read().clone()
     }
 
+    /// Grows the attached heap's large-object area online (no restart) —
+    /// the admin `GROW` verb's backend. See
+    /// [`PHeap::grow`] for the crash-atomicity
+    /// protocol.
+    ///
+    /// # Errors
+    /// [`TxError::Heap`] if no heap is attached or the grow itself fails.
+    pub fn grow_heap(&self, bytes: u64) -> Result<mnemosyne_pheap::GrowStats, TxError> {
+        let heap = self
+            .heap()
+            .ok_or_else(|| TxError::Heap("no heap attached to this runtime".to_string()))?;
+        heap.grow(&self.regions, bytes)
+            .map_err(|e| TxError::Heap(e.to_string()))
+    }
+
     /// Checks out a transaction-thread context (one per worker thread).
     /// The slot is returned when the [`TxThread`] drops.
     ///

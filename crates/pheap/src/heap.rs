@@ -32,12 +32,19 @@ use crate::small::{class_of, ShardSmall, SmallLayout, WordWrite};
 /// in the first word of the small region; written last during formatting
 /// so a torn format is re-run. The second header word records how many
 /// shard logs have ever been created, so a reopen with fewer shards still
-/// replays every log.
+/// replays every log. The third header word counts committed large
+/// **extension areas** ([`PHeap::grow`]); heaps written before online
+/// growth existed read zero there (backing pages are zero-filled), so old
+/// images open unchanged.
 const HEAP_MAGIC: u64 = u64::from_le_bytes(*b"PHEAPHD2");
 
 /// Hard cap on the shard count (also bounds the `n_logs` header word a
 /// recovery will trust).
 pub const MAX_SHARDS: usize = 64;
+
+/// Hard cap on extension areas (bounds the header word a recovery will
+/// trust, and keeps region-table usage sane).
+pub const MAX_EXT_AREAS: u64 = 64;
 
 /// Configuration for [`PHeap::open`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,6 +129,15 @@ pub struct SmallOccupancy {
     pub total_superblocks: usize,
 }
 
+/// What one [`PHeap::grow`] call added, for reporting over the admin wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GrowStats {
+    /// Bytes the new extension area contributes (page-rounded).
+    pub grown_bytes: u64,
+    /// Total large-area capacity after the grow (base + all extensions).
+    pub large_capacity: u64,
+}
+
 /// Counters describing heap activity since open.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HeapStats {
@@ -175,6 +191,10 @@ struct HeapMetrics {
     steals: Counter,
     /// Shard-lock acquisitions that found the lock already held.
     shard_lock_contended: Counter,
+    /// Successful online [`PHeap::grow`] calls.
+    grows: Counter,
+    /// Bytes of large-area capacity added by online growth.
+    grow_bytes: Counter,
     /// Time spent rebuilding volatile indexes at open (§6.3.2); with
     /// parallel scavenge this is the critical-path worker time.
     scavenge_ns: Histogram,
@@ -192,6 +212,8 @@ impl HeapMetrics {
             remote_frees: telemetry.counter("pheap.remote_frees", Unit::Count),
             steals: telemetry.counter("pheap.steals", Unit::Count),
             shard_lock_contended: telemetry.counter("pheap.shard_lock_contended", Unit::Count),
+            grows: telemetry.counter("pheap.grows", Unit::Count),
+            grow_bytes: telemetry.counter("pheap.grow_bytes", Unit::Bytes),
             scavenge_ns: telemetry.histogram("pheap.scavenge_ns", Unit::Nanoseconds),
         }
     }
@@ -204,10 +226,12 @@ struct Shard {
     small: ShardSmall,
 }
 
-/// The large-object allocator with its own log, behind its own lock.
+/// The large-object allocator with its own log, behind its own lock. The
+/// base area plus any committed extension areas ([`PHeap::grow`]) share the
+/// one log, preserving its single-producer discipline.
 struct LargeShard {
     log: TornbitLog,
-    alloc: LargeAlloc,
+    areas: Vec<LargeAlloc>,
 }
 
 /// Monotone thread slots: each thread that touches a heap gets the next
@@ -232,6 +256,10 @@ pub struct PHeap {
     pool: Mutex<Vec<u32>>,
     large: Mutex<LargeShard>,
     header: VAddr,
+    /// Region-name prefix, kept for naming extension areas at [`grow`].
+    ///
+    /// [`grow`]: PHeap::grow
+    name_prefix: String,
     stats: StatCells,
     metrics: HeapMetrics,
 }
@@ -287,10 +315,12 @@ impl PHeap {
         let log_bytes = mnemosyne_rawl::LOG_HEADER_BYTES + config.log_words * 8;
         let llog_r = regions.pmap(&format!("{}.llog", config.name_prefix), log_bytes, &pmem)?;
 
-        // First page of the small region: heap header
-        // (word 0 = magic, word 1 = number of shard logs ever created).
+        // First page of the small region: heap header (word 0 = magic,
+        // word 1 = number of shard logs ever created, word 2 = number of
+        // committed large extension areas).
         let header = small_r.addr;
         let nlogs_addr = header.add(8);
+        let exts_addr = header.add(16);
         let small_area = small_r.addr.add(4096);
         let small_len = small_r.len - 4096;
         let layout = SmallLayout::new(small_area, small_len);
@@ -336,9 +366,10 @@ impl PHeap {
                 pool: Mutex::new((0..n_sb).rev().collect()),
                 large: Mutex::new(LargeShard {
                     log: llog,
-                    alloc: large,
+                    areas: vec![large],
                 }),
                 header,
+                name_prefix: config.name_prefix,
                 stats,
                 metrics,
             });
@@ -351,6 +382,27 @@ impl PHeap {
             return Err(HeapError::Corrupt(
                 "implausible shard log count in heap header",
             ));
+        }
+        // Committed large extension areas ([`PHeap::grow`]): every counted
+        // area must exist in the region table (Regions::open already mapped
+        // it), or the image is corrupt. An *uncounted* leftover from a
+        // crashed grow is invisible here and gets re-adopted by the next
+        // grow call.
+        let n_ext = pmem.read_u64(exts_addr);
+        if n_ext > MAX_EXT_AREAS {
+            return Err(HeapError::Corrupt(
+                "implausible extension-area count in heap header",
+            ));
+        }
+        let mut area_specs: Vec<(VAddr, u64)> = Vec::with_capacity(1 + n_ext as usize);
+        area_specs.push((large_r.addr, large_r.len));
+        for e in 0..n_ext {
+            let r = regions
+                .find(&format!("{}.ext{}", config.name_prefix, e))
+                .ok_or(HeapError::Corrupt(
+                    "committed heap extension area is missing from the region table",
+                ))?;
+            area_specs.push((r.addr, r.len));
         }
         let total_logs = m.max(nshards);
         let mut log_addrs = Vec::with_capacity(total_logs);
@@ -412,10 +464,20 @@ impl PHeap {
             }));
         }
         let lp = regions.pmem_handle();
-        let mut large = LargeAlloc::new(large_r.addr, large_r.len);
         let large_h = std::thread::spawn(move || {
-            let res = large.scavenge(&lp);
-            ((large, res), lp.accounted_ns())
+            let mut areas = Vec::with_capacity(area_specs.len());
+            let mut res = Ok(());
+            for (base, len) in area_specs {
+                let mut a = LargeAlloc::new(base, len);
+                match a.scavenge(&lp) {
+                    Ok(()) => areas.push(a),
+                    Err(e) => {
+                        res = Err(e);
+                        break;
+                    }
+                }
+            }
+            ((areas, res), lp.accounted_ns())
         });
         let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
         let large_joined = large_h.join();
@@ -432,7 +494,7 @@ impl PHeap {
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
-        let ((large, large_res), large_ns) = match large_joined {
+        let ((areas, large_res), large_ns) = match large_joined {
             Ok(v) => v,
             Err(payload) => std::panic::resume_unwind(payload),
         };
@@ -475,11 +537,9 @@ impl PHeap {
             shards: shards.into_iter().map(Mutex::new).collect(),
             owner,
             pool: Mutex::new(empties),
-            large: Mutex::new(LargeShard {
-                log: llog,
-                alloc: large,
-            }),
+            large: Mutex::new(LargeShard { log: llog, areas }),
             header,
+            name_prefix: config.name_prefix,
             stats,
             metrics,
         })
@@ -589,6 +649,63 @@ impl PHeap {
         words
     }
 
+    /// Grows the large-object area online by mapping a fresh **extension
+    /// area** of (at least) `bytes` bytes — no restart, no data movement.
+    ///
+    /// Growth is atomic against crashes with a single durable word as the
+    /// commit point:
+    ///
+    /// 1. map a region named `{prefix}.ext{E}` where `E` is the committed
+    ///    extension count in header word 2 (a leftover region from a
+    ///    previously interrupted grow is re-adopted, not leaked — the
+    ///    region intention log GCs a crash *inside* `pmap` itself);
+    /// 2. durably format it as one free chunk;
+    /// 3. durably bump header word 2 — **the commit point**. A crash
+    ///    before the bump recovers to the old capacity (the uncounted
+    ///    region is invisible and re-adopted later); a crash after it
+    ///    recovers to the new capacity.
+    ///
+    /// The large lock is held throughout, so concurrent large allocations
+    /// serialise with the grow; small-path allocations are unaffected.
+    ///
+    /// # Errors
+    /// [`HeapError::OutOfMemory`] when [`MAX_EXT_AREAS`] extensions already
+    /// exist, or a region-layer error if the address space or backing
+    /// store is exhausted.
+    pub fn grow(&self, regions: &Regions, bytes: u64) -> Result<GrowStats, HeapError> {
+        let pmem = regions.pmem_handle();
+        let mut guard = self.large.lock();
+        let exts_addr = self.header.add(16);
+        let e = pmem.read_u64(exts_addr);
+        if e >= MAX_EXT_AREAS {
+            return Err(HeapError::OutOfMemory { requested: bytes });
+        }
+        let name = format!("{}.ext{}", self.name_prefix, e);
+        let region = match regions.find(&name) {
+            Some(r) => r, // re-adopt the leftover of an interrupted grow
+            None => regions.pmap(&name, bytes, &pmem)?,
+        };
+        let mut area = LargeAlloc::new(region.addr, region.len);
+        let writes = area.format_writes();
+        Self::apply(&pmem, &writes);
+        // Commit point: the extension only counts once this word lands.
+        pmem.store_u64(exts_addr, e + 1);
+        pmem.flush(exts_addr);
+        pmem.fence();
+        guard.areas.push(area);
+        self.metrics.grows.inc();
+        self.metrics.grow_bytes.add(region.len);
+        Ok(GrowStats {
+            grown_bytes: region.len,
+            large_capacity: guard.areas.iter().map(|a| a.capacity()).sum(),
+        })
+    }
+
+    /// Total large-area capacity in bytes (base + committed extensions).
+    pub fn large_capacity(&self) -> u64 {
+        self.large.lock().areas.iter().map(|a| a.capacity()).sum()
+    }
+
     /// Words currently live across all allocator logs (appended, not yet
     /// truncated) — the heap's contribution to the outstanding-log bound.
     pub fn outstanding_log_words(&self) -> u64 {
@@ -685,16 +802,19 @@ impl PHeap {
             self.metrics.fallback_allocs.inc();
         }
         let mut guard = self.large.lock();
-        let lg = &mut *guard;
+        let LargeShard { log, areas } = &mut *guard;
         let mut writes: Vec<WordWrite> = Vec::with_capacity(12);
-        let a = lg
-            .alloc
-            .alloc(size, lg.log.pmem(), &mut writes)
+        // First fit across the base area and any extensions. An area's
+        // `alloc` pushes no writes before it finds a fitting chunk, so
+        // trying the next area after a miss is safe.
+        let a = areas
+            .iter_mut()
+            .find_map(|area| area.alloc(size, log.pmem(), &mut writes))
             .ok_or(HeapError::OutOfMemory { requested: size })?;
         if let Some(c) = cell {
             writes.push((c, a.0));
         }
-        Self::commit(&mut lg.log, &writes)?;
+        Self::commit(log, &writes)?;
         if class_of(size).is_none() {
             self.stats.large_allocs.fetch_add(1, Ordering::Relaxed);
             self.metrics.large_allocs.inc();
@@ -749,16 +869,17 @@ impl PHeap {
 
     fn free_large(&self, addr: VAddr, cell: Option<VAddr>) -> Result<(), HeapError> {
         let mut guard = self.large.lock();
-        let lg = &mut *guard;
-        if !lg.alloc.contains(addr) {
-            return Err(HeapError::BadPointer(addr));
-        }
+        let LargeShard { log, areas } = &mut *guard;
+        let area = areas
+            .iter_mut()
+            .find(|a| a.contains(addr))
+            .ok_or(HeapError::BadPointer(addr))?;
         let mut writes: Vec<WordWrite> = Vec::with_capacity(12);
-        lg.alloc.free(addr, lg.log.pmem(), &mut writes)?;
+        area.free(addr, log.pmem(), &mut writes)?;
         if let Some(c) = cell {
             writes.push((c, 0));
         }
-        Self::commit(&mut lg.log, &writes)
+        Self::commit(log, &writes)
     }
 
     /// Allocates `size` bytes of persistent memory and durably stores the
@@ -895,11 +1016,11 @@ impl PHeap {
             }
         } else {
             let guard = self.large.lock();
-            if guard.alloc.contains(addr) {
-                guard.alloc.usable_size(guard.log.pmem(), addr)
-            } else {
-                None
-            }
+            guard
+                .areas
+                .iter()
+                .find(|a| a.contains(addr))
+                .and_then(|a| a.usable_size(guard.log.pmem(), addr))
         }
     }
 
@@ -1260,6 +1381,61 @@ mod tests {
         let st = heap.stats();
         assert_eq!(st.allocs, 150);
         assert_eq!(st.frees, 150);
+    }
+
+    #[test]
+    fn grow_serves_allocations_beyond_original_capacity() {
+        let (_env, regions, _pmem) = setup();
+        let heap = PHeap::open(&regions, small_heap()).unwrap();
+        let (cell, _) = regions.static_area();
+        // Exhaust the 1 MB large area, then grow and retry.
+        assert!(matches!(
+            heap.pmalloc(3 << 20, cell),
+            Err(HeapError::OutOfMemory { .. })
+        ));
+        let st = heap.grow(&regions, 4 << 20).unwrap();
+        assert!(st.grown_bytes >= 4 << 20);
+        assert_eq!(st.large_capacity, heap.large_capacity());
+        let a = heap.pmalloc(3 << 20, cell).unwrap();
+        assert!(heap.usable_size(a).unwrap() >= 3 << 20);
+        heap.pfree(cell).unwrap();
+    }
+
+    #[test]
+    fn grown_capacity_and_blocks_survive_reopen_and_crash() {
+        let (env, regions, pmem) = setup();
+        let (cell, _) = regions.static_area();
+        let (a, cap) = {
+            let heap = PHeap::open(&regions, small_heap()).unwrap();
+            heap.grow(&regions, 2 << 20).unwrap();
+            let a = heap.pmalloc(1_500_000, cell).unwrap();
+            pmem.store_u64(a, 42);
+            pmem.flush(a);
+            pmem.fence();
+            (a, heap.large_capacity())
+        };
+        env.sim.crash(CrashPolicy::DropAll);
+        let heap2 = PHeap::open(&regions, small_heap()).unwrap();
+        assert_eq!(heap2.large_capacity(), cap, "extension lost across crash");
+        assert!(heap2.usable_size(a).unwrap() >= 1_500_000);
+        assert_eq!(pmem.read_u64(a), 42);
+        heap2.pfree(cell).unwrap();
+    }
+
+    #[test]
+    fn interrupted_grow_leftover_is_readopted() {
+        let (_env, regions, _pmem) = setup();
+        let heap = PHeap::open(&regions, small_heap()).unwrap();
+        // Simulate a crash after the region was mapped but before the
+        // header commit: the region exists, the count still reads 0.
+        let pm = regions.pmem_handle();
+        let leftover = regions.pmap("pheap.ext0", 1 << 20, &pm).unwrap();
+        let before = heap.large_capacity();
+        let st = heap.grow(&regions, 8 << 20).unwrap();
+        // The leftover (1 MB) is adopted as-is; the requested size is
+        // irrelevant once a prior attempt already reserved the name.
+        assert_eq!(st.grown_bytes, leftover.len);
+        assert_eq!(heap.large_capacity(), before + leftover.len);
     }
 
     #[test]

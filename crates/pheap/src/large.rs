@@ -202,6 +202,11 @@ impl LargeAlloc {
         c.in_use.then_some(c.size - CHUNK_HEADER)
     }
 
+    /// Total bytes this area manages (headers included).
+    pub fn capacity(&self) -> u64 {
+        self.len
+    }
+
     /// Total free bytes (diagnostics).
     pub fn free_bytes(&self) -> u64 {
         self.free.iter().map(|&(_, s)| s).sum()

@@ -63,7 +63,9 @@ pub mod large;
 pub mod small;
 
 pub use error::HeapError;
-pub use heap::{HeapConfig, HeapStats, PHeap, SmallOccupancy, MAX_SHARDS};
+pub use heap::{
+    GrowStats, HeapConfig, HeapStats, PHeap, SmallOccupancy, MAX_EXT_AREAS, MAX_SHARDS,
+};
 
 /// Superblock size in bytes (Hoard's granularity; §4.3 uses 8 KB).
 pub const SUPERBLOCK_BYTES: u64 = 8192;

@@ -3,7 +3,7 @@
 //! ```text
 //! mnemosyned --dir DATA [--addr 127.0.0.1:7077] [--workers 2]
 //!            [--max-batch 64] [--scm-mb 64] [--max-conns 256]
-//!            [--max-queue 1024] [--ckpt-ms 50]
+//!            [--max-queue 1024] [--ckpt-ms 50] [--max-admin 4]
 //! ```
 //!
 //! First run creates the persistent heap under `--dir`; later runs
@@ -18,6 +18,14 @@
 //! background checkpointer (`--ckpt-ms`, 0 disables) truncates the redo
 //! logs every interval so outstanding log bytes stay bounded under
 //! sustained writes.
+//!
+//! Operators watch and steer the daemon over the same socket through
+//! the admin verbs — `kvctl ADDR stats | health | checkpoint |
+//! grow BYTES` — which run on a bounded side path (`--max-admin`
+//! concurrent, 0 unbounded) that never queues behind data-plane traffic,
+//! so STATS and HEALTH answer even when the daemon is saturated or
+//! draining. See OPERATIONS.md for the runbook and PROTOCOL.md for the
+//! wire format.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,13 +42,14 @@ struct Args {
     max_conns: usize,
     max_queue: usize,
     ckpt_ms: u64,
+    max_admin: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: mnemosyned --dir DATA [--addr 127.0.0.1:7077] [--workers 2] \
          [--max-batch 64] [--scm-mb 64] [--max-conns 256] [--max-queue 1024] \
-         [--ckpt-ms 50]"
+         [--ckpt-ms 50] [--max-admin 4]"
     );
     std::process::exit(2);
 }
@@ -55,6 +64,7 @@ fn parse_args() -> Args {
         max_conns: 256,
         max_queue: 1024,
         ckpt_ms: 50,
+        max_admin: SvcConfig::default().max_admin,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -68,6 +78,7 @@ fn parse_args() -> Args {
             "--max-conns" => args.max_conns = val().parse().unwrap_or_else(|_| usage()),
             "--max-queue" => args.max_queue = val().parse().unwrap_or_else(|_| usage()),
             "--ckpt-ms" => args.ckpt_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--max-admin" => args.max_admin = val().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -98,6 +109,7 @@ fn main() -> ExitCode {
             max_conns: args.max_conns,
             max_queue: args.max_queue,
             ckpt_interval: std::time::Duration::from_millis(args.ckpt_ms),
+            max_admin: args.max_admin,
             ..SvcConfig::default()
         },
     ) {

@@ -16,7 +16,10 @@ use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::proto::{read_response, write_request, FrameError, ProtoError, Request, Response};
+use crate::proto::{
+    read_response, write_request, CkptSummary, FrameError, GrowInfo, HealthInfo, ProtoError,
+    Request, Response,
+};
 
 /// Why a typed client call failed.
 #[derive(Debug)]
@@ -275,6 +278,63 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.call(&Request::Shutdown)? {
             Response::Ok => Ok(()),
+            other => Err(fail(other)),
+        }
+    }
+
+    /// Fetches the server's full telemetry registry as an
+    /// `mnemosyne-telemetry-v1` JSON snapshot (admin side path — works
+    /// even while the server drains). Parse it with
+    /// `mnemosyne_obs::TelemetrySnapshot::from_json`.
+    ///
+    /// # Errors
+    /// Socket/protocol failures, overload shedding, or a server-side
+    /// error reply.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(json) => Ok(json),
+            other => Err(fail(other)),
+        }
+    }
+
+    /// Forces a checkpoint pass on the server: redo and allocator logs
+    /// are truncated down to their durable watermarks, bounding what a
+    /// crash right now would have to replay.
+    ///
+    /// # Errors
+    /// Socket/protocol failures, overload shedding, or a server-side
+    /// error reply.
+    pub fn checkpoint(&mut self) -> Result<CkptSummary, ClientError> {
+        match self.call(&Request::Checkpoint)? {
+            Response::CkptDone(s) => Ok(s),
+            other => Err(fail(other)),
+        }
+    }
+
+    /// Liveness and load report: uptime, connection count, queue depth,
+    /// outstanding log words, drain state (admin side path — works even
+    /// while the server drains).
+    ///
+    /// # Errors
+    /// Socket/protocol failures, overload shedding, or a server-side
+    /// error reply.
+    pub fn health(&mut self) -> Result<HealthInfo, ClientError> {
+        match self.call(&Request::Health)? {
+            Response::Health(h) => Ok(h),
+            other => Err(fail(other)),
+        }
+    }
+
+    /// Grows the server's heap online by (at least) `bytes` bytes of
+    /// large-object capacity — no restart. Crash-atomic on the server: a
+    /// failure mid-grow recovers to either the old or the new capacity.
+    ///
+    /// # Errors
+    /// Socket/protocol failures, overload shedding, or a server-side
+    /// error reply (e.g. address space exhausted).
+    pub fn grow(&mut self, bytes: u64) -> Result<GrowInfo, ClientError> {
+        match self.call(&Request::Grow(bytes))? {
+            Response::Grown(g) => Ok(g),
             other => Err(fail(other)),
         }
     }

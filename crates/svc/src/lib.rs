@@ -12,21 +12,25 @@
 //!
 //! - [`proto`] — a length-prefixed binary framing
 //!   (`[len u32][opcode u8][body]`) with GET/PUT/DEL/SCAN/PING/SHUTDOWN
-//!   requests. Decoding is total: truncated, oversized, or garbage bytes
-//!   yield typed [`proto::FrameError`]s, never panics.
+//!   data requests and STATS/CHECKPOINT/HEALTH/GROW admin requests (see
+//!   PROTOCOL.md for the byte layout). Decoding is total: truncated,
+//!   oversized, or garbage bytes yield typed [`proto::FrameError`]s,
+//!   never panics.
 //! - [`service`] — the group-commit batcher. Requests queue centrally;
 //!   each worker drains up to a batch and runs the whole batch in ONE
 //!   durable transaction, so N writes share one redo-append fence, and
 //!   concurrent workers further share post-writeback data fences through
-//!   the mtm commit groups.
+//!   the mtm commit groups. Admin requests bypass the queue on a bounded
+//!   side path, so observability stays responsive under load or drain.
 //! - [`server`]/[`client`] — a threaded TCP front end with per-connection
 //!   pipelining (many requests in flight, responses in request order),
 //!   and the matching blocking client.
 //!
 //! Telemetry: `svc.requests`, `svc.conns`, `svc.recoveries`,
-//! `svc.batch_size`, `svc.request_ns`, plus the degradation counters
-//! `svc.overload.shed`, `svc.overload.conns_rejected` and `svc.drains`
-//! (see METRICS.md).
+//! `svc.batch_size`, `svc.request_ns`, the degradation counters
+//! `svc.overload.shed`, `svc.overload.conns_rejected` and `svc.drains`,
+//! and the admin side path's `svc.admin.requests`, `svc.admin.rejected`
+//! and `svc.admin.request_ns` (see METRICS.md).
 //!
 //! Binaries: `mnemosyned` (the daemon) and `kvctl` (a one-shot CLI
 //! client). A killed daemon loses nothing acknowledged: restart with the
@@ -40,6 +44,6 @@ pub mod server;
 pub mod service;
 
 pub use client::{Client, ClientError};
-pub use proto::{FrameError, ProtoError, Request, Response};
+pub use proto::{CkptSummary, FrameError, GrowInfo, HealthInfo, ProtoError, Request, Response};
 pub use server::KvServer;
 pub use service::{KvService, SvcConfig, Ticket};

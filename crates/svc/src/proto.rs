@@ -29,6 +29,10 @@ mod op {
     pub const DEL: u8 = 0x04;
     pub const SCAN: u8 = 0x05;
     pub const SHUTDOWN: u8 = 0x06;
+    pub const STATS: u8 = 0x07;
+    pub const CHECKPOINT: u8 = 0x08;
+    pub const HEALTH: u8 = 0x09;
+    pub const GROW: u8 = 0x0A;
 
     pub const PONG: u8 = 0x81;
     pub const OK: u8 = 0x82;
@@ -38,6 +42,10 @@ mod op {
     pub const ERR: u8 = 0x86;
     pub const OVERLOADED: u8 = 0x87;
     pub const DRAINING: u8 = 0x88;
+    pub const STATS_SNAPSHOT: u8 = 0x89;
+    pub const CKPT_DONE: u8 = 0x8A;
+    pub const HEALTH_INFO: u8 = 0x8B;
+    pub const GROWN: u8 = 0x8C;
 }
 
 /// Everything that can be wrong with a frame's bytes. Typed so callers
@@ -142,6 +150,77 @@ pub enum Request {
     Scan(Vec<u8>, u32),
     /// Ask the daemon to checkpoint and exit gracefully.
     Shutdown,
+    /// Admin: export the live telemetry registry as a
+    /// `mnemosyne-telemetry-v1` JSON snapshot ([`Response::Stats`]).
+    /// Served on the admin side path, even while the server drains.
+    Stats,
+    /// Admin: run one checkpoint pass right now (truncate the redo and
+    /// allocator logs to their durable watermarks), answered with
+    /// [`Response::CkptDone`].
+    Checkpoint,
+    /// Admin: liveness + load report ([`Response::Health`]). Served on
+    /// the admin side path, even while the server drains.
+    Health,
+    /// Admin: grow the persistent heap online by at least this many
+    /// bytes, without a restart ([`Response::Grown`]). Growth is atomic:
+    /// a crash mid-grow recovers to either the old or the new capacity.
+    Grow(u64),
+}
+
+/// Whether a request is an admin verb — routed around the batcher queue
+/// onto the bounded admin side path, never behind data-plane traffic.
+impl Request {
+    /// True for [`Request::Stats`], [`Request::Checkpoint`],
+    /// [`Request::Health`] and [`Request::Grow`].
+    pub fn is_admin(&self) -> bool {
+        matches!(
+            self,
+            Request::Stats | Request::Checkpoint | Request::Health | Request::Grow(_)
+        )
+    }
+}
+
+/// Result of an on-demand checkpoint ([`Response::CkptDone`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CkptSummary {
+    /// Log words durably reclaimed (redo logs plus allocator logs).
+    pub reclaimed_words: u64,
+    /// Outstanding redo-log words when the pass started.
+    pub outstanding_before: u64,
+    /// Outstanding redo-log words when it finished.
+    pub outstanding_after: u64,
+    /// Wall-clock duration of the pass in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// Liveness and load report ([`Response::Health`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthInfo {
+    /// Milliseconds since the service started.
+    pub uptime_ms: u64,
+    /// Live TCP connections.
+    pub conns: u64,
+    /// Requests waiting in the batcher queue.
+    pub queue_depth: u64,
+    /// Requests a worker has pulled but not yet answered.
+    pub inflight: u64,
+    /// Redo-log words fenced but not yet truncated — what a crash right
+    /// now would replay.
+    pub outstanding_log_words: u64,
+    /// Whether the service is draining for shutdown (data-plane requests
+    /// are refused with [`Response::Draining`]; admin reads still work).
+    pub draining: bool,
+}
+
+/// Result of an online heap growth ([`Response::Grown`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GrowInfo {
+    /// Bytes this call added (page-rounded; when a grow interrupted by a
+    /// crash left a formatted-but-uncounted extension behind, the next
+    /// grow re-adopts it and reports *its* size, not the requested one).
+    pub grown_bytes: u64,
+    /// Total large-object capacity after the grow.
+    pub large_capacity_bytes: u64,
 }
 
 /// A server response.
@@ -166,6 +245,15 @@ pub enum Response {
     /// The server is draining for shutdown and accepts no new work.
     /// Like [`Response::Overloaded`], the request was never enqueued.
     Draining,
+    /// The live telemetry registry as `mnemosyne-telemetry-v1` JSON
+    /// (answer to [`Request::Stats`]).
+    Stats(String),
+    /// Checkpoint results (answer to [`Request::Checkpoint`]).
+    CkptDone(CkptSummary),
+    /// Liveness/load report (answer to [`Request::Health`]).
+    Health(HealthInfo),
+    /// Heap growth results (answer to [`Request::Grow`]).
+    Grown(GrowInfo),
 }
 
 /// Cursor over a frame payload, enforcing bounds on every read.
@@ -198,6 +286,13 @@ impl<'a> Reader<'a> {
     fn u32(&mut self) -> Result<u32, FrameError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn bytes(&mut self) -> Result<Vec<u8>, FrameError> {
@@ -279,6 +374,13 @@ impl Request {
                 p.extend_from_slice(&limit.to_le_bytes());
             }
             Request::Shutdown => p.push(op::SHUTDOWN),
+            Request::Stats => p.push(op::STATS),
+            Request::Checkpoint => p.push(op::CHECKPOINT),
+            Request::Health => p.push(op::HEALTH),
+            Request::Grow(bytes) => {
+                p.push(op::GROW);
+                p.extend_from_slice(&bytes.to_le_bytes());
+            }
         }
         frame(p)
     }
@@ -315,6 +417,10 @@ impl Request {
                 Request::Scan(prefix, limit)
             }
             op::SHUTDOWN => Request::Shutdown,
+            op::STATS => Request::Stats,
+            op::CHECKPOINT => Request::Checkpoint,
+            op::HEALTH => Request::Health,
+            op::GROW => Request::Grow(r.u64()?),
             other => return Err(FrameError::UnknownOpcode(other)),
         };
         r.finish()?;
@@ -348,6 +454,31 @@ impl Response {
             }
             Response::Overloaded => p.push(op::OVERLOADED),
             Response::Draining => p.push(op::DRAINING),
+            Response::Stats(json) => {
+                p.push(op::STATS_SNAPSHOT);
+                put_bytes(&mut p, json.as_bytes());
+            }
+            Response::CkptDone(c) => {
+                p.push(op::CKPT_DONE);
+                p.extend_from_slice(&c.reclaimed_words.to_le_bytes());
+                p.extend_from_slice(&c.outstanding_before.to_le_bytes());
+                p.extend_from_slice(&c.outstanding_after.to_le_bytes());
+                p.extend_from_slice(&c.duration_ns.to_le_bytes());
+            }
+            Response::Health(h) => {
+                p.push(op::HEALTH_INFO);
+                p.extend_from_slice(&h.uptime_ms.to_le_bytes());
+                p.extend_from_slice(&h.conns.to_le_bytes());
+                p.extend_from_slice(&h.queue_depth.to_le_bytes());
+                p.extend_from_slice(&h.inflight.to_le_bytes());
+                p.extend_from_slice(&h.outstanding_log_words.to_le_bytes());
+                p.push(h.draining as u8);
+            }
+            Response::Grown(g) => {
+                p.push(op::GROWN);
+                p.extend_from_slice(&g.grown_bytes.to_le_bytes());
+                p.extend_from_slice(&g.large_capacity_bytes.to_le_bytes());
+            }
         }
         frame(p)
     }
@@ -391,6 +522,29 @@ impl Response {
             }
             op::OVERLOADED => Response::Overloaded,
             op::DRAINING => Response::Draining,
+            op::STATS_SNAPSHOT => {
+                let raw = r.bytes()?;
+                let json = String::from_utf8(raw).map_err(|_| FrameError::BadUtf8)?;
+                Response::Stats(json)
+            }
+            op::CKPT_DONE => Response::CkptDone(CkptSummary {
+                reclaimed_words: r.u64()?,
+                outstanding_before: r.u64()?,
+                outstanding_after: r.u64()?,
+                duration_ns: r.u64()?,
+            }),
+            op::HEALTH_INFO => Response::Health(HealthInfo {
+                uptime_ms: r.u64()?,
+                conns: r.u64()?,
+                queue_depth: r.u64()?,
+                inflight: r.u64()?,
+                outstanding_log_words: r.u64()?,
+                draining: r.take(1)?[0] != 0,
+            }),
+            op::GROWN => Response::Grown(GrowInfo {
+                grown_bytes: r.u64()?,
+                large_capacity_bytes: r.u64()?,
+            }),
             other => return Err(FrameError::UnknownOpcode(other)),
         };
         r.finish()?;
@@ -484,6 +638,10 @@ mod tests {
             Request::Del(vec![]),
             Request::Scan(b"pre".to_vec(), 17),
             Request::Shutdown,
+            Request::Stats,
+            Request::Checkpoint,
+            Request::Health,
+            Request::Grow(16 << 20),
         ];
         for req in cases {
             let bytes = req.encode();
@@ -504,6 +662,25 @@ mod tests {
             Response::Err("boom".to_string()),
             Response::Overloaded,
             Response::Draining,
+            Response::Stats("{\"schema\":\"mnemosyne-telemetry-v1\"}".to_string()),
+            Response::CkptDone(CkptSummary {
+                reclaimed_words: 1,
+                outstanding_before: 2,
+                outstanding_after: 3,
+                duration_ns: u64::MAX,
+            }),
+            Response::Health(HealthInfo {
+                uptime_ms: 12,
+                conns: 3,
+                queue_depth: 400,
+                inflight: 5,
+                outstanding_log_words: 67,
+                draining: true,
+            }),
+            Response::Grown(GrowInfo {
+                grown_bytes: 8 << 20,
+                large_capacity_bytes: 12 << 20,
+            }),
         ];
         for resp in cases {
             let bytes = resp.encode();

@@ -12,7 +12,7 @@
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
@@ -24,8 +24,6 @@ use crate::service::{KvService, Ticket};
 struct ServerShared {
     svc: KvService,
     stop: AtomicBool,
-    /// Live connection count, for `max_conns` admission control.
-    active: AtomicUsize,
     /// Set when a client sends SHUTDOWN (or by [`KvServer::request_shutdown`]);
     /// the daemon main loop waits on it to begin an orderly power-down.
     shutdown: Mutex<bool>,
@@ -60,7 +58,6 @@ impl KvServer {
         let shared = Arc::new(ServerShared {
             svc,
             stop: AtomicBool::new(false),
-            active: AtomicUsize::new(0),
             shutdown: Mutex::new(false),
             shutdown_cv: Condvar::new(),
             conns: Mutex::new(Vec::new()),
@@ -120,8 +117,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
             return;
         }
         let Ok(stream) = stream else { continue };
-        let max = shared.svc.max_conns();
-        if max > 0 && shared.active.load(Ordering::SeqCst) >= max {
+        if !shared.svc.conn_opened() {
             // Over the connection bound: refuse with one typed frame
             // instead of accepting work we can't serve (or silently
             // hanging the client in the kernel backlog).
@@ -133,11 +129,10 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
             continue;
         }
         shared.svc.metrics().conns.inc();
-        shared.active.fetch_add(1, Ordering::SeqCst);
         let handle = match stream.try_clone() {
             Ok(h) => h,
             Err(_) => {
-                shared.active.fetch_sub(1, Ordering::SeqCst);
+                shared.svc.conn_closed();
                 continue;
             }
         };
@@ -159,7 +154,7 @@ fn serve_conn(stream: TcpStream, shared: &Arc<ServerShared>) {
     read_loop(reader, shared, &tx);
     drop(tx); // writer drains outstanding tickets, then exits
     let _ = writer.join();
-    shared.active.fetch_sub(1, Ordering::SeqCst);
+    shared.svc.conn_closed();
 }
 
 fn read_loop(

@@ -20,7 +20,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -30,7 +30,7 @@ use mnemosyne_obs::{Counter, Histogram, Telemetry, Unit};
 use mnemosyne_pds::PHashTable;
 use parking_lot::{Condvar, Mutex};
 
-use crate::proto::{Request, Response};
+use crate::proto::{CkptSummary, GrowInfo, HealthInfo, Request, Response};
 
 /// Tuning for a [`KvService`].
 #[derive(Debug, Clone)]
@@ -67,6 +67,14 @@ pub struct SvcConfig {
     /// writes. Zero disables the driver (default — harnesses that need
     /// deterministic fault-point enumeration checkpoint explicitly).
     pub ckpt_interval: std::time::Duration,
+    /// Admission control for the **admin side path**: most admin requests
+    /// (STATS/CHECKPOINT/HEALTH/GROW) executing at once. Admin requests
+    /// bypass the batcher queue and run on their connection's reader
+    /// thread, so observability stays responsive while the data plane is
+    /// saturated or draining — this bound keeps a flood of them from
+    /// monopolising connection threads instead. Excess admin requests are
+    /// answered [`Response::Overloaded`]. Zero disables the bound.
+    pub max_admin: usize,
 }
 
 impl Default for SvcConfig {
@@ -80,6 +88,7 @@ impl Default for SvcConfig {
             max_queue: 1024,
             max_conns: 256,
             ckpt_interval: std::time::Duration::ZERO,
+            max_admin: 4,
         }
     }
 }
@@ -95,6 +104,9 @@ pub(crate) struct SvcMetrics {
     pub(crate) overload_shed: Counter,
     pub(crate) overload_conns: Counter,
     pub(crate) drains: Counter,
+    pub(crate) admin_requests: Counter,
+    pub(crate) admin_rejected: Counter,
+    pub(crate) admin_request_ns: Histogram,
 }
 
 impl SvcMetrics {
@@ -108,6 +120,9 @@ impl SvcMetrics {
             overload_shed: t.counter("svc.overload.shed", Unit::Count),
             overload_conns: t.counter("svc.overload.conns_rejected", Unit::Count),
             drains: t.counter("svc.drains", Unit::Count),
+            admin_requests: t.counter("svc.admin.requests", Unit::Count),
+            admin_rejected: t.counter("svc.admin.rejected", Unit::Count),
+            admin_request_ns: t.histogram("svc.admin.request_ns", Unit::Nanoseconds),
         }
     }
 }
@@ -211,11 +226,20 @@ struct Inner {
     batch_window: std::time::Duration,
     max_queue: usize,
     max_conns: usize,
+    max_admin: usize,
     queue: Mutex<QueueState>,
     cv: Condvar,
     metrics: SvcMetrics,
     workers: Mutex<Vec<JoinHandle<()>>>,
     ckpt: Mutex<Option<(Arc<AtomicBool>, JoinHandle<()>)>>,
+    /// Admin requests currently executing on connection threads.
+    admin_inflight: AtomicUsize,
+    /// Live TCP connections (maintained by the server front end via
+    /// [`KvService::conn_opened`]/[`KvService::conn_closed`]), reported by
+    /// HEALTH.
+    conns: AtomicUsize,
+    /// Service start time, reported by HEALTH as uptime.
+    started: Instant,
 }
 
 impl Inner {
@@ -275,6 +299,7 @@ impl KvService {
             batch_window: config.batch_window,
             max_queue: config.max_queue,
             max_conns: config.max_conns,
+            max_admin: config.max_admin,
             queue: Mutex::new(QueueState {
                 pending: VecDeque::new(),
                 inflight: 0,
@@ -286,6 +311,9 @@ impl KvService {
             metrics,
             workers: Mutex::new(Vec::new()),
             ckpt: Mutex::new(None),
+            admin_inflight: AtomicUsize::new(0),
+            conns: AtomicUsize::new(0),
+            started: Instant::now(),
         });
         let svc = KvService { inner };
         for _ in 0..config.workers {
@@ -316,7 +344,14 @@ impl KvService {
     /// Enqueues a request for the next commit batch. Never blocks; the
     /// returned [`Ticket`] resolves once the batch commits. On a stopped
     /// or dead service the ticket resolves immediately with an error.
+    ///
+    /// Admin requests ([`Request::is_admin`]) never enter the batch queue:
+    /// they execute synchronously on the calling thread (the admin side
+    /// path) and come back as an already-resolved ticket.
     pub fn submit(&self, req: Request) -> Ticket {
+        if req.is_admin() {
+            return Ticket::ready(self.admin(&req));
+        }
         let cell = Arc::new(TicketCell::new());
         let ticket = Ticket(Arc::clone(&cell));
         {
@@ -407,12 +442,119 @@ impl KvService {
         }
     }
 
-    pub(crate) fn metrics(&self) -> &SvcMetrics {
-        &self.inner.metrics
+    /// Executes an admin request on the calling (connection reader)
+    /// thread — the **admin side path**. Admin requests never queue
+    /// behind the data plane, so STATS and HEALTH stay responsive while
+    /// the batcher is saturated or draining; a dedicated inflight bound
+    /// ([`SvcConfig::max_admin`]) keeps them from monopolising connection
+    /// threads in return.
+    fn admin(&self, req: &Request) -> Response {
+        let inner = &self.inner;
+        if inner.max_admin > 0
+            && inner.admin_inflight.fetch_add(1, Ordering::SeqCst) >= inner.max_admin
+        {
+            inner.admin_inflight.fetch_sub(1, Ordering::SeqCst);
+            inner.metrics.admin_rejected.inc();
+            return Response::Overloaded;
+        }
+        // Counted at admission, so a STATS snapshot includes itself.
+        inner.metrics.admin_requests.inc();
+        let wall = Instant::now();
+        let resp = self.admin_exec(req);
+        inner
+            .metrics
+            .admin_request_ns
+            .record(wall.elapsed().as_nanos() as u64);
+        if inner.max_admin > 0 {
+            inner.admin_inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+        resp
     }
 
-    pub(crate) fn max_conns(&self) -> usize {
-        self.inner.max_conns
+    fn admin_exec(&self, req: &Request) -> Response {
+        let inner = &self.inner;
+        match req {
+            // Read-only verbs work in every lifecycle state, including a
+            // drain — that is precisely when an operator needs them.
+            Request::Stats => Response::Stats(inner.mtm.telemetry().snapshot().to_json()),
+            Request::Health => {
+                let (queue_depth, inflight, draining) = {
+                    let q = inner.queue.lock();
+                    (q.pending.len() as u64, q.inflight as u64, q.draining)
+                };
+                Response::Health(HealthInfo {
+                    uptime_ms: inner.started.elapsed().as_millis() as u64,
+                    conns: inner.conns.load(Ordering::SeqCst) as u64,
+                    queue_depth,
+                    inflight,
+                    outstanding_log_words: inner.mtm.outstanding_log_words(),
+                    draining,
+                })
+            }
+            // Mutating verbs respect the lifecycle: nothing runs against a
+            // stopped or dead machine.
+            Request::Checkpoint | Request::Grow(_) if self.is_stopped() => {
+                Response::Err("service unavailable".to_string())
+            }
+            Request::Checkpoint => {
+                let wall = Instant::now();
+                match catch_unwind(AssertUnwindSafe(|| inner.mtm.checkpoint())) {
+                    Ok(st) => Response::CkptDone(CkptSummary {
+                        reclaimed_words: st.reclaimed_words,
+                        outstanding_before: st.outstanding_before,
+                        outstanding_after: st.outstanding_after,
+                        duration_ns: wall.elapsed().as_nanos() as u64,
+                    }),
+                    Err(payload) => {
+                        let why = match crash_payload(&*payload) {
+                            Some(req) => format!("machine crashed: {req}"),
+                            None => "checkpoint panicked".to_string(),
+                        };
+                        inner.mark_dead(&why);
+                        Response::Err(why)
+                    }
+                }
+            }
+            Request::Grow(bytes) => {
+                match catch_unwind(AssertUnwindSafe(|| inner.mtm.grow_heap(*bytes))) {
+                    Ok(Ok(st)) => Response::Grown(GrowInfo {
+                        grown_bytes: st.grown_bytes,
+                        large_capacity_bytes: st.large_capacity,
+                    }),
+                    Ok(Err(e)) => Response::Err(format!("grow failed: {e}")),
+                    Err(payload) => {
+                        let why = match crash_payload(&*payload) {
+                            Some(req) => format!("machine crashed: {req}"),
+                            None => "grow panicked".to_string(),
+                        };
+                        inner.mark_dead(&why);
+                        Response::Err(why)
+                    }
+                }
+            }
+            _ => Response::Err("not an admin request".to_string()),
+        }
+    }
+
+    /// Admission check for a new TCP connection: registers it unless the
+    /// `max_conns` bound is hit. A `true` must be paired with
+    /// [`KvService::conn_closed`]. The count feeds HEALTH's `conns` field.
+    pub(crate) fn conn_opened(&self) -> bool {
+        let max = self.inner.max_conns;
+        if max > 0 && self.inner.conns.load(Ordering::SeqCst) >= max {
+            return false;
+        }
+        self.inner.conns.fetch_add(1, Ordering::SeqCst);
+        true
+    }
+
+    /// Unregisters a connection admitted by [`KvService::conn_opened`].
+    pub(crate) fn conn_closed(&self) {
+        self.inner.conns.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn metrics(&self) -> &SvcMetrics {
+        &self.inner.metrics
     }
 }
 
@@ -479,6 +621,11 @@ fn exec_batch(
                 }
                 Request::Scan(prefix, limit) => {
                     Response::Entries(table.scan_prefix_in(tx, prefix, *limit as usize)?)
+                }
+                // Admin verbs are routed around the batcher by submit();
+                // reaching the data path would be a dispatch bug.
+                Request::Stats | Request::Checkpoint | Request::Health | Request::Grow(_) => {
+                    Response::Err("admin request on the data path".to_string())
                 }
             };
             out.push(resp);

@@ -3,7 +3,9 @@
 //! truncated, oversized, and garbage inputs yield typed errors, never
 //! panics.
 
-use mnemosyne_svc::proto::{self, FrameError, Request, Response};
+use mnemosyne_svc::proto::{
+    self, CkptSummary, FrameError, GrowInfo, HealthInfo, Request, Response,
+};
 use proptest::prelude::*;
 
 fn bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -14,13 +16,17 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
-    fn request_round_trips(key in bytes(64), value in bytes(256), limit in any::<u32>(), pick in 0u8..6) {
+    fn request_round_trips(key in bytes(64), value in bytes(256), limit in any::<u32>(), grow in any::<u64>(), pick in 0u8..10) {
         let req = match pick {
             0 => Request::Ping,
             1 => Request::Get(key.clone()),
             2 => Request::Put(key.clone(), value.clone()),
             3 => Request::Del(key.clone()),
             4 => Request::Scan(key.clone(), limit),
+            5 => Request::Stats,
+            6 => Request::Checkpoint,
+            7 => Request::Health,
+            8 => Request::Grow(grow),
             _ => Request::Shutdown,
         };
         let wire = req.encode();
@@ -30,7 +36,7 @@ proptest! {
     }
 
     #[test]
-    fn response_round_trips(value in bytes(256), err_raw in bytes(40), n in 0usize..8, pick in 0u8..6) {
+    fn response_round_trips(value in bytes(256), err_raw in bytes(40), n in 0usize..8, words in proptest::collection::vec(any::<u64>(), 6..7), flag in any::<bool>(), pick in 0u8..10) {
         // The shim has no regex string strategy; derive printable ASCII.
         let err: String = err_raw.iter().map(|b| char::from(b % 95 + 32)).collect();
         let resp = match pick {
@@ -41,6 +47,25 @@ proptest! {
             4 => Response::Entries(
                 (0..n).map(|i| (vec![i as u8], value.clone())).collect(),
             ),
+            5 => Response::Stats(err.clone()),
+            6 => Response::CkptDone(CkptSummary {
+                reclaimed_words: words[0],
+                outstanding_before: words[1],
+                outstanding_after: words[2],
+                duration_ns: words[3],
+            }),
+            7 => Response::Health(HealthInfo {
+                uptime_ms: words[0],
+                conns: words[1],
+                queue_depth: words[2],
+                inflight: words[3],
+                outstanding_log_words: words[4],
+                draining: flag,
+            }),
+            8 => Response::Grown(GrowInfo {
+                grown_bytes: words[0],
+                large_capacity_bytes: words[5],
+            }),
             _ => Response::Err(err.clone()),
         };
         let wire = resp.encode();

@@ -1,0 +1,79 @@
+//! Docs gate: every intra-repo markdown link in the operator-facing
+//! documentation must resolve to a file that exists. The CI docs job
+//! runs this test explicitly, so renaming or deleting a doc without
+//! fixing its inbound links fails the build instead of shipping a
+//! dead link.
+
+use std::path::Path;
+
+/// The documents whose links are load-bearing for users and operators.
+const DOCS: &[&str] = &[
+    "README.md",
+    "ARCHITECTURE.md",
+    "DESIGN.md",
+    "METRICS.md",
+    "OPERATIONS.md",
+    "PROTOCOL.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+];
+
+/// Extracts every markdown link target — the `target` of `[text](target)`
+/// — outside fenced code blocks.
+fn link_targets(md: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in md.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(i) = rest.find("](") {
+            let tail = &rest[i + 2..];
+            let Some(j) = tail.find(')') else { break };
+            out.push(tail[..j].to_string());
+            rest = &tail[j + 1..];
+        }
+    }
+    out
+}
+
+#[test]
+fn intra_repo_markdown_links_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut broken = Vec::new();
+    for doc in DOCS {
+        let text = std::fs::read_to_string(root.join(doc))
+            .unwrap_or_else(|e| panic!("cannot read {doc}: {e}"));
+        for link in link_targets(&text) {
+            // External links and pure same-page anchors are out of scope;
+            // a path before a `#fragment` must still resolve.
+            let target = link.split('#').next().unwrap_or("");
+            if target.is_empty()
+                || target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            if !root.join(target).exists() {
+                broken.push(format!("{doc}: ({link})"));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken intra-repo markdown links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn link_extraction_sees_through_lines_and_skips_fences() {
+    let md = "see [a](A.md) and [b](B.md#frag)\n```\n[no](NOPE.md)\n```\n[c](#anchor)\n";
+    assert_eq!(link_targets(md), vec!["A.md", "B.md#frag", "#anchor"]);
+}
